@@ -1,0 +1,17 @@
+"""Future-work experiment: 1-D block-column vs 2-D block ownership.
+
+§6 proposes extending the method to a 2-D partitioning; the simulation-level
+model shows the expected crossover — 1-D is competitive at small P (fewer,
+coarser tasks and messages), 2-D scales past it as P grows because column
+ownership stops serializing each column's updates on one processor.
+"""
+
+from repro.eval.extras import format_two_d, two_d_rows
+
+
+def test_ablation_2d(benchmark, bench_config, emit):
+    rows = benchmark.pedantic(two_d_rows, args=(bench_config,), rounds=1, iterations=1)
+    emit("ablation_2d", format_two_d(rows))
+    # Shape: at P=16 the 2-D model wins on every matrix.
+    p16 = [r for r in rows if r[1] == 16]
+    assert all(r[3] < r[2] for r in p16), "2-D did not out-scale 1-D at P=16"

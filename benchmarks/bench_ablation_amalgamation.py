@@ -1,0 +1,46 @@
+"""Ablation: sweep the amalgamation padding tolerance (§3 design choice).
+
+Larger tolerances merge more supernodes — fewer, bigger BLAS-3 blocks at the
+cost of padded zeros and extra arithmetic. The sweep exposes the trade-off
+the paper resolves by "applying amalgamation to further increase the
+supernode size".
+"""
+
+from repro.eval.ablations import (
+    amalgamation_policy_comparison,
+    amalgamation_sweep,
+    format_amalgamation,
+    format_policy,
+)
+
+
+def test_ablation_amalgamation(benchmark, bench_config, emit):
+    name = "sherman3"
+    points = benchmark.pedantic(
+        amalgamation_sweep, args=(name,), kwargs=dict(config=bench_config),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_amalgamation", format_amalgamation(points, name))
+    # More tolerance => never more supernodes, never smaller mean size.
+    for a, b in zip(points, points[1:]):
+        assert b.n_supernodes <= a.n_supernodes
+        assert b.mean_size >= a.mean_size - 1e-9
+        assert b.stored_block_entries >= a.stored_block_entries
+
+
+def test_ablation_amalgamation_policy(benchmark, bench_config, emit):
+    name = "sherman3"
+    points = benchmark.pedantic(
+        amalgamation_policy_comparison,
+        args=(name,),
+        kwargs=dict(config=bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_amalgamation_policy", format_policy(points, name))
+    by = {p.policy: p for p in points}
+    # Chains is the restricted variant: at least as many supernodes and at
+    # most as much padding as unrestricted greedy.
+    assert by["chains"].n_supernodes >= by["greedy"].n_supernodes
+    assert by["chains"].padding_entries <= by["greedy"].padding_entries
+    assert by["none"].padding_entries == 0

@@ -1,0 +1,23 @@
+"""Ablation: 1-D block-column mapping policy (cyclic / blocked / greedy).
+
+The paper delegates the assignment to RAPID's scheduler; this sweep shows
+how much the owner map matters on the same task graph and machine.
+"""
+
+from repro.eval.ablations import format_mapping, mapping_comparison
+
+
+def test_ablation_mapping(benchmark, bench_config, emit):
+    names = bench_config.matrices[:3]
+
+    def run():
+        return {n: mapping_comparison(n, config=bench_config) for n in names}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(format_mapping(results[n]) for n in names)
+    emit("ablation_mapping", text)
+    for name, pts in results.items():
+        by = {p.policy: p for p in pts}
+        # Blocked mapping serializes the elimination frontier; it should
+        # never beat cyclic by much on these graphs.
+        assert by["cyclic"].makespan_p8 <= by["blocked"].makespan_p8 * 1.3, name

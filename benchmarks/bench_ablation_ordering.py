@@ -1,0 +1,22 @@
+"""Ablation: fill-reducing ordering (the paper fixes minimum degree on AᵀA).
+
+Compares minimum degree, RCM, and the natural order on static fill,
+supernode count, and simulated 8-processor factorization time.
+"""
+
+from repro.eval.ablations import format_ordering, ordering_comparison
+
+
+def test_ablation_ordering(benchmark, bench_config, emit):
+    names = bench_config.matrices[:3]
+
+    def run():
+        return {n: ordering_comparison(n, config=bench_config) for n in names}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(format_ordering(results[n]) for n in names)
+    emit("ablation_ordering", text)
+    for name, pts in results.items():
+        by = {p.ordering: p for p in pts}
+        # The paper's choice should not lose badly to the natural order.
+        assert by["mindeg"].fill_ratio <= by["natural"].fill_ratio * 1.25, name

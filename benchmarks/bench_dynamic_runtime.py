@@ -1,0 +1,18 @@
+"""Future-work experiment: dynamic task-graph construction at run time.
+
+§6 proposes "dynamically building the task dependence graph at run time".
+This benchmark compares the static path (materialize every edge, then
+execute) against the lazy runtime (O(#tasks) counters, successors derived on
+completion) on wall-clock and memory proxy (edges stored), asserting the
+executed factors agree.
+"""
+
+from repro.eval.extras import dynamic_rows, format_dynamic
+
+
+def test_dynamic_runtime(benchmark, bench_config, emit):
+    rows = benchmark.pedantic(
+        dynamic_rows, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit("dynamic_runtime", format_dynamic(rows))
+    assert all(r[-1] for r in rows)

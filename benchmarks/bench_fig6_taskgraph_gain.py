@@ -1,0 +1,18 @@
+"""Regenerate Figure 6: task-graph improvement for lns3937, lnsp3937,
+saylr4 (same quantity as Figure 5, second matrix group)."""
+
+from repro.eval.config import FIG6_MATRICES
+from repro.eval.figures import format_figure56, taskgraph_improvement_series
+
+
+def test_figure6(benchmark, bench_config, emit):
+    series = benchmark.pedantic(
+        taskgraph_improvement_series,
+        args=(FIG6_MATRICES, bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig6", format_figure56(series, figure=6, scale=bench_config.scale))
+    for s in series:
+        assert all(v > -0.12 for v in s.improvement), s.name
+    assert any(max(s.improvement) > 0.01 for s in series)

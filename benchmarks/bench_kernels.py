@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are classic pytest-benchmark timings (multiple rounds) of the pieces
+the pipeline spends its time in: the George-Ng symbolic factorization, the
+minimum-degree ordering, the panel LU, and the full numeric factorization.
+"""
+
+import numpy as np
+
+from repro.numeric.factor import LUFactorization
+from repro.numeric.kernels import lu_panel_inplace
+from repro.numeric.solver import SparseLUSolver
+from repro.ordering.mindeg import minimum_degree_ata
+from repro.ordering.transversal import zero_free_diagonal_permutation
+from repro.sparse.generators import paper_matrix
+from repro.sparse.ops import permute
+from repro.symbolic.static_fill import static_symbolic_factorization
+from repro.symbolic.postorder import postorder_pipeline
+
+
+def _prepared(name="orsreg1", scale=0.2):
+    a = paper_matrix(name, scale=scale)
+    a = permute(a, row_perm=zero_free_diagonal_permutation(a))
+    q = minimum_degree_ata(a)
+    return permute(a, row_perm=q, col_perm=q)
+
+
+def test_bench_static_symbolic_factorization(benchmark):
+    a = _prepared()
+    fill = benchmark(static_symbolic_factorization, a)
+    assert fill.nnz >= a.nnz
+
+
+def test_bench_minimum_degree(benchmark):
+    a = paper_matrix("orsreg1", scale=0.2)
+    perm = benchmark(minimum_degree_ata, a)
+    assert perm.size == a.n_cols
+
+
+def test_bench_postorder(benchmark):
+    fill = static_symbolic_factorization(_prepared())
+    po = benchmark(postorder_pipeline, fill)
+    assert po.fill.nnz == fill.nnz
+
+
+def test_bench_panel_lu(benchmark):
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((256, 64))
+
+    def run():
+        m = base.copy()
+        return lu_panel_inplace(m, 64)
+
+    order = benchmark(run)
+    assert order.size == 256
+
+
+def test_bench_numeric_factorization(benchmark):
+    solver = SparseLUSolver(paper_matrix("orsreg1", scale=0.2)).analyze()
+
+    def run():
+        eng = LUFactorization(solver.a_work, solver.bp)
+        eng.factor_sequential()
+        return eng
+
+    eng = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(eng.sub_rows) == solver.bp.n_blocks
+
+
+def test_bench_full_pipeline(benchmark):
+    a = paper_matrix("saylr4", scale=0.15)
+
+    def run():
+        return SparseLUSolver(a).analyze().factorize()
+
+    solver = benchmark.pedantic(run, rounds=2, iterations=1)
+    b = np.ones(a.n_cols)
+    assert solver.residual_norm(solver.solve(b), b) < 1e-8

@@ -1,0 +1,29 @@
+"""LazyS+ savings and task-graph parallelism metrics.
+
+§2 notes that "recent developments show that some of the zero blocks can be
+eliminated from the computation (LazyS+)" — our engine applies the shortcut
+(bitwise-identical results) and this benchmark reports the skipped share.
+The second test quantifies §4's "exposes more task parallelism" as the
+count of unordered (concurrent) task pairs in each dependence graph.
+"""
+
+from repro.eval.extras import (
+    format_graph_metrics,
+    format_lazy,
+    graph_metric_rows,
+    lazy_rows,
+)
+
+
+def test_lazy_savings(benchmark, bench_config, emit):
+    rows = benchmark.pedantic(lazy_rows, args=(bench_config,), rounds=1, iterations=1)
+    emit("lazy_savings", format_lazy(rows))
+    assert all(r[1] + r[2] > 0 for r in rows)
+
+
+def test_graph_parallelism_metrics(benchmark, bench_config, emit):
+    rows = benchmark.pedantic(
+        graph_metric_rows, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit("graph_parallelism", format_graph_metrics(rows))
+    assert all(r[3] >= r[4] for r in rows), "eforest graph lost parallelism"

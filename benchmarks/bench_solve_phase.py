@@ -1,0 +1,17 @@
+"""Solve-phase parallelism (paper step (4)) under the 1-D mapping.
+
+The factorization's eforest structure also parallelizes the two triangular
+solves: independent subtrees solve concurrently. This benchmark simulates
+the forward+backward solve DAG for the processor sweep.
+"""
+
+from repro.eval.extras import format_solve_phase, solve_phase_rows
+
+
+def test_solve_phase(benchmark, bench_config, emit):
+    rows = benchmark.pedantic(
+        solve_phase_rows, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit("solve_phase", format_solve_phase(rows, bench_config.procs))
+    for r in rows:
+        assert r[-1] >= 1.0  # never slower than serial

@@ -1,0 +1,19 @@
+"""Threshold-pivoting stability experiment (growth factor vs sparsity)."""
+
+from repro.eval.stability import format_stability, stability_rows
+
+
+def test_stability(benchmark, bench_config, emit):
+    rows = benchmark.pedantic(
+        stability_rows, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit("stability", format_stability(rows))
+    for r in rows:
+        assert r.backward_err < 1e-8, f"{r.name} @ tau={r.threshold}"
+        assert r.growth_factor >= 0.9  # growth can't shrink below ~1
+    # Strict partial pivoting never has more growth than the loosest tau.
+    by_matrix: dict = {}
+    for r in rows:
+        by_matrix.setdefault(r.name, {})[r.threshold] = r
+    for name, pts in by_matrix.items():
+        assert pts[1.0].growth_factor <= pts[0.01].growth_factor * 3.0

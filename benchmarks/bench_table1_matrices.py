@@ -1,0 +1,17 @@
+"""Regenerate Table 1: benchmark matrices and their static fill ratios.
+
+The timed quantity is the full symbolic front of the pipeline (transversal,
+minimum degree on AᵀA, George-Ng static symbolic factorization) across the
+whole matrix set — the work whose output Table 1 summarizes.
+"""
+
+from repro.eval.table1 import format_table1, table1_rows
+
+
+def test_table1(benchmark, bench_config, emit):
+    rows = benchmark.pedantic(
+        table1_rows, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit("table1", format_table1(rows, scale=bench_config.scale))
+    for r in rows:
+        assert r.fill_ratio >= 1.0

@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints it
+(run with ``-s`` to see the tables inline; they are also written to
+``benchmarks/results/``). ``REPRO_BENCH_SCALE`` controls matrix size
+(default 0.35; 1.0 reproduces the published orders).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.eval.config import BenchConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

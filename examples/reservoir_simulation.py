@@ -1,0 +1,65 @@
+"""Oil-reservoir simulation workload (the paper's sherman/orsreg/saylr domain).
+
+Implicit pressure solves in reservoir simulation produce exactly the
+unsymmetric 7-point-stencil systems of Table 1. This example runs a short
+pseudo-time-stepping loop: the Jacobian pattern is fixed, so the symbolic
+analysis (transversal, ordering, static fill, postorder, supernodes, task
+graph) is done ONCE and only the numeric factorization + solves repeat —
+the workflow static symbolic factorization was invented for.
+
+Run:  python examples/reservoir_simulation.py
+"""
+
+import numpy as np
+
+from repro import SparseLUSolver
+from repro.sparse.generators import reservoir_matrix
+from repro.util.timer import Timer
+
+
+def perturb_values(a, rng):
+    """New Jacobian values on the same pattern (nonlinear coefficients)."""
+    b = a.copy()
+    b.data = b.data * (1.0 + 0.05 * rng.standard_normal(b.data.size))
+    return b
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # A 14x14x6 grid, thinned couplings as in the sherman matrices.
+    a = reservoir_matrix(14, 14, 6, keep_offdiag=0.85, seed=7)
+    n = a.n_cols
+    print(f"reservoir grid 14x14x6 -> n={n}, nnz={a.nnz}")
+
+    with Timer() as t_sym:
+        solver = SparseLUSolver(a).analyze()
+    st = solver.stats()
+    print(
+        f"symbolic analysis: {t_sym.elapsed:.2f}s "
+        f"(fill {st.fill_ratio:.1f}x, {st.n_supernodes} supernodes, "
+        f"{st.n_tasks} tasks)"
+    )
+
+    pressure = np.zeros(n)
+    for step in range(5):
+        # Refresh the Jacobian values on the frozen pattern; the static
+        # symbolic structure (and therefore the whole task system) is valid
+        # for any values, pivoting included — refactorize() reuses it all.
+        jac = perturb_values(a, rng)
+        with Timer() as t_num:
+            solver.refactorize(jac)
+        rhs = rng.standard_normal(n) - pressure
+        delta = solver.solve(rhs)
+        pressure += delta
+        from repro.sparse.ops import matvec
+
+        residual = np.max(np.abs(matvec(jac, delta) - rhs))
+        print(
+            f"  step {step}: factor {t_num.elapsed:.3f}s, "
+            f"|update|={np.max(np.abs(delta)):.3f}, residual={residual:.2e}"
+        )
+    print("done: one symbolic analysis amortized over 5 factorizations")
+
+
+if __name__ == "__main__":
+    main()

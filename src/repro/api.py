@@ -1,0 +1,61 @@
+"""One-call convenience API.
+
+For users who want the paper's machinery without driving the pipeline:
+
+>>> import numpy as np
+>>> from repro.api import lu, solve
+>>> from repro.sparse import paper_matrix
+>>> a = paper_matrix("orsreg1", scale=0.15)
+>>> x = solve(a, np.ones(a.n_cols))
+>>> fact = lu(a)
+>>> x2 = fact.solve(np.ones(a.n_cols))
+>>> bool(np.allclose(x, x2))
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numeric.solver import SolverOptions, SparseLUSolver
+from repro.sparse.csc import CSCMatrix
+
+
+@dataclass
+class LUHandle:
+    """A factorized matrix ready for repeated solves."""
+
+    solver: SparseLUSolver
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self.solver.solve(b)
+
+    def solve_refined(self, b: np.ndarray):
+        return self.solver.solve_refined(b)
+
+    def refactorize(self, a_new: CSCMatrix) -> "LUHandle":
+        """Re-factor new values on the same pattern (symbolic work reused)."""
+        self.solver.refactorize(a_new)
+        return self
+
+    @property
+    def condition_estimate(self) -> float:
+        return self.solver.condition_estimate()
+
+    @property
+    def stats(self):
+        return self.solver.stats()
+
+
+def lu(a: CSCMatrix, **options) -> LUHandle:
+    """Analyze and factorize ``a``; keyword args map to
+    :class:`SolverOptions` (``ordering=``, ``postorder=``, ...)."""
+    solver = SparseLUSolver(a, SolverOptions(**options)).analyze().factorize()
+    return LUHandle(solver=solver)
+
+
+def solve(a: CSCMatrix, b: np.ndarray, **options) -> np.ndarray:
+    """Solve ``A x = b`` in one call (factors are not kept)."""
+    return lu(a, **options).solve(b)

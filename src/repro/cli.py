@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``      factor and solve ``A x = b`` from a Matrix Market /
+               Rutherford-Boeing file (or a named synthetic analog).
+``analyze``    run the symbolic pipeline only and print the statistics.
+``bench``      run one registered experiment (``table1`` ... ``fig6``,
+               ablations) and print its table.
+``matrices``   list the available Table-1 analogs.
+``generate``   write a synthetic analog to a Matrix Market file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.eval.config import BenchConfig
+from repro.eval.registry import EXPERIMENTS, run_experiment
+from repro.numeric.solver import SolverOptions, SparseLUSolver
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import PAPER_MATRICES, paper_matrix
+from repro.sparse.io import (
+    read_matrix_market,
+    read_rutherford_boeing,
+    write_matrix_market,
+)
+from repro.util.tables import format_table
+
+
+def _load_matrix(spec: str, scale: float) -> CSCMatrix:
+    """Load ``spec``: a file path (.mtx/.rb/.rua) or an analog name."""
+    if spec in PAPER_MATRICES:
+        return paper_matrix(spec, scale=scale)
+    lower = spec.lower()
+    if lower.endswith((".rb", ".rua", ".rsa", ".pua", ".psa")):
+        return read_rutherford_boeing(spec)
+    return read_matrix_market(spec)
+
+
+def _solver_options(args: argparse.Namespace) -> SolverOptions:
+    return SolverOptions(
+        ordering=args.ordering,
+        postorder=not args.no_postorder,
+        amalgamation=not args.no_amalgamation,
+        task_graph=args.task_graph,
+        equilibrate=getattr(args, "equilibrate", False),
+    )
+
+
+def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("matrix", help="matrix file (.mtx/.rua) or analog name")
+    p.add_argument("--scale", type=float, default=0.35, help="analog size factor")
+    p.add_argument(
+        "--ordering", choices=["mindeg", "rcm", "natural"], default="mindeg"
+    )
+    p.add_argument("--no-postorder", action="store_true")
+    p.add_argument("--no-amalgamation", action="store_true")
+    p.add_argument("--task-graph", choices=["eforest", "sstar"], default="eforest")
+    p.add_argument(
+        "--equilibrate", action="store_true", help="row/column max-norm scaling"
+    )
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    a = _load_matrix(args.matrix, args.scale)
+    solver = SparseLUSolver(a, _solver_options(args)).analyze().factorize()
+    rng = np.random.default_rng(0)
+    if args.rhs == "ones":
+        b = np.ones(a.n_cols)
+    elif args.rhs == "random":
+        b = rng.standard_normal(a.n_cols)
+    else:
+        b = np.loadtxt(args.rhs)
+    if args.refine:
+        rr = solver.solve_refined(b)
+        x = rr.x
+        print(f"refinement: {rr.iterations} iteration(s), converged={rr.converged}")
+    else:
+        x = solver.solve(b)
+    print(f"n={a.n_cols} nnz={a.nnz} residual={solver.residual_norm(x, b):.3e}")
+    if args.condest:
+        print(f"condition estimate (1-norm): {solver.condition_estimate():.3e}")
+    if args.output:
+        np.savetxt(args.output, x)
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.sparse.stats import matrix_stats
+
+    a = _load_matrix(args.matrix, args.scale)
+    ms = matrix_stats(a)
+    print(
+        format_table(
+            ["quantity", "value"],
+            ms.summary_rows(),
+            title=f"matrix statistics: {args.matrix}",
+        )
+    )
+    print()
+    solver = SparseLUSolver(a, _solver_options(args)).analyze()
+    st = solver.stats()
+    rows = [
+        ("order", st.n),
+        ("nnz(A)", st.nnz),
+        ("nnz(Abar)", st.nnz_filled),
+        ("fill ratio", round(st.fill_ratio, 3)),
+        ("supernodes (raw)", st.n_supernodes_raw),
+        ("supernodes (amalgamated)", st.n_supernodes),
+        ("mean supernode width", round(st.mean_supernode_size, 3)),
+        ("BTF diagonal blocks", st.n_btf_blocks),
+        ("tasks", st.n_tasks),
+        ("dependence edges", st.n_edges),
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"analysis: {args.matrix}"))
+    from repro.numeric.memory import memory_report
+
+    mem = memory_report(solver.fill, solver.bp)
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            mem.summary_rows(),
+            title="memory report",
+        )
+    )
+    if args.spy:
+        from repro.symbolic.postorder import block_upper_triangular_blocks
+        from repro.symbolic.eforest import lu_elimination_forest
+        from repro.util.spy import spy
+
+        print("\nA (analyzed ordering):")
+        print(spy(solver.a_work))
+        blocks = None
+        if solver.options.postorder:
+            blocks = block_upper_triangular_blocks(
+                lu_elimination_forest(solver.fill)
+            )
+        print("\nAbar (static fill):")
+        print(spy(solver.fill.pattern, blocks=blocks))
+    if args.forest:
+        from repro.taskgraph.eforest_graph import block_eforest
+        from repro.util.spy import render_forest
+
+        print("\nblock LU eforest:")
+        print(render_forest(block_eforest(solver.bp)))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    config = BenchConfig(scale=args.scale)
+    if args.experiment == "all":
+        for exp in sorted(EXPERIMENTS):
+            print(run_experiment(exp, config))
+            print()
+        return 0
+    print(run_experiment(args.experiment, config))
+    return 0
+
+
+def cmd_matrices(_args: argparse.Namespace) -> int:
+    rows = [
+        (s.name, s.domain, s.paper_order, s.paper_nnz)
+        for s in PAPER_MATRICES.values()
+    ]
+    print(
+        format_table(
+            ["name", "domain", "paper order", "paper nnz"],
+            rows,
+            title="Table 1 analogs (paper_matrix(name, scale=...))",
+        )
+    )
+    return 0
+
+
+def cmd_selfcheck(_args: argparse.Namespace) -> int:
+    from repro.verify import selfcheck
+
+    report = selfcheck()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    a = paper_matrix(args.name, scale=args.scale)
+    write_matrix_market(a, args.output)
+    print(f"wrote {args.name} analog ({a.n_cols} x {a.n_cols}, nnz={a.nnz}) to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel sparse LU with postordering and static symbolic factorization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="factor and solve A x = b")
+    _add_pipeline_flags(p)
+    p.add_argument("--rhs", default="ones", help="'ones', 'random', or a file")
+    p.add_argument("--refine", action="store_true", help="iterative refinement")
+    p.add_argument("--condest", action="store_true", help="estimate cond_1(A)")
+    p.add_argument("-o", "--output", help="write the solution vector")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("analyze", help="symbolic pipeline statistics")
+    _add_pipeline_flags(p)
+    p.add_argument(
+        "--spy", action="store_true", help="ASCII spy plots of A and Abar"
+    )
+    p.add_argument(
+        "--forest", action="store_true", help="render the (block) LU eforest"
+    )
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("bench", help="run one registered experiment (or 'all')")
+    p.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    p.add_argument("--scale", type=float, default=0.35)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("matrices", help="list Table-1 analogs")
+    p.set_defaults(func=cmd_matrices)
+
+    p = sub.add_parser("selfcheck", help="condensed end-to-end verification")
+    p.set_defaults(func=cmd_selfcheck)
+
+    p = sub.add_parser("generate", help="write an analog to a .mtx file")
+    p.add_argument("name", choices=sorted(PAPER_MATRICES))
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Evaluation harness: regenerate every table and figure of the paper (§5).
+
+Each driver returns structured rows *and* a formatted table whose layout
+matches the paper's, so `pytest benchmarks/` output can be read side by side
+with the published numbers. ``EXPERIMENTS`` is the registry mapping
+experiment ids (``table1`` ... ``fig6`` and the ablations) to their drivers.
+"""
+
+from repro.eval.config import BenchConfig, DEFAULT_MATRICES, bench_scale
+from repro.eval.pipeline import analyzed_matrix, both_graphs
+from repro.eval.table1 import table1_rows, format_table1
+from repro.eval.table2 import table2_rows, format_table2
+from repro.eval.table3 import table3_rows, format_table3
+from repro.eval.figures import (
+    taskgraph_improvement_series,
+    figure5_series,
+    figure6_series,
+    format_figure56,
+)
+from repro.eval.ablations import (
+    amalgamation_sweep,
+    ordering_comparison,
+    mapping_comparison,
+)
+from repro.eval.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "BenchConfig",
+    "DEFAULT_MATRICES",
+    "bench_scale",
+    "analyzed_matrix",
+    "both_graphs",
+    "table1_rows",
+    "format_table1",
+    "table2_rows",
+    "format_table2",
+    "table3_rows",
+    "format_table3",
+    "taskgraph_improvement_series",
+    "figure5_series",
+    "figure6_series",
+    "format_figure56",
+    "amalgamation_sweep",
+    "ordering_comparison",
+    "mapping_comparison",
+    "EXPERIMENTS",
+    "run_experiment",
+]

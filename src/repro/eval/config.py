@@ -1,0 +1,44 @@
+"""Benchmark configuration: matrix set, scale, machine sweep.
+
+The paper's matrices are a few thousand unknowns; a pure-Python symbolic
+pipeline handles that, but benchmark wall-clock stays pleasant at a reduced
+``scale`` (grid dimensions shrink ∝ scale). Set ``REPRO_BENCH_SCALE=1.0`` to
+run the full published sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+#: Table 1's matrix order (the paper's row order).
+DEFAULT_MATRICES = (
+    "sherman3",
+    "sherman5",
+    "lnsp3937",
+    "lns3937",
+    "orsreg1",
+    "saylr4",
+    "goodwin",
+)
+
+#: Figure 5 plots these matrices; Figure 6 the rest.
+FIG5_MATRICES = ("sherman3", "sherman5", "orsreg1", "goodwin")
+FIG6_MATRICES = ("lns3937", "lnsp3937", "saylr4")
+
+#: The paper's processor sweep (Table 2, Figures 5-6).
+PROC_SWEEP = (1, 2, 4, 8)
+
+
+def bench_scale() -> float:
+    """Scale factor for generated matrices (env ``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One benchmark run's knobs."""
+
+    matrices: tuple[str, ...] = DEFAULT_MATRICES
+    scale: float = field(default_factory=bench_scale)
+    procs: tuple[int, ...] = PROC_SWEEP

@@ -1,0 +1,133 @@
+"""Experiment registry: one entry per table/figure/ablation of DESIGN.md."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.eval.ablations import (
+    amalgamation_sweep,
+    format_amalgamation,
+    format_mapping,
+    format_ordering,
+    mapping_comparison,
+    ordering_comparison,
+)
+from repro.eval.config import BenchConfig
+from repro.eval.figures import figure5_series, figure6_series, format_figure56
+from repro.eval.table1 import format_table1, table1_rows
+from repro.eval.table2 import format_table2, table2_rows
+from repro.eval.table3 import format_table3, table3_rows
+
+
+def _run_table1(config: BenchConfig) -> str:
+    return format_table1(table1_rows(config), scale=config.scale)
+
+
+def _run_table2(config: BenchConfig) -> str:
+    return format_table2(table2_rows(config), scale=config.scale)
+
+
+def _run_table3(config: BenchConfig) -> str:
+    return format_table3(table3_rows(config), scale=config.scale)
+
+
+def _run_fig5(config: BenchConfig) -> str:
+    return format_figure56(figure5_series(config), figure=5, scale=config.scale)
+
+
+def _run_fig6(config: BenchConfig) -> str:
+    return format_figure56(figure6_series(config), figure=6, scale=config.scale)
+
+
+def _run_ablation_amalg(config: BenchConfig) -> str:
+    name = config.matrices[0]
+    return format_amalgamation(amalgamation_sweep(name, config=config), name)
+
+
+def _run_ablation_ordering(config: BenchConfig) -> str:
+    out = []
+    for name in config.matrices[:3]:
+        out.append(format_ordering(ordering_comparison(name, config=config)))
+    return "\n\n".join(out)
+
+
+def _run_ablation_mapping(config: BenchConfig) -> str:
+    out = []
+    for name in config.matrices[:3]:
+        out.append(format_mapping(mapping_comparison(name, config=config)))
+    return "\n\n".join(out)
+
+
+def _run_coletree(config: BenchConfig) -> str:
+    from repro.eval.extras import coletree_rows, format_coletree
+
+    return format_coletree(coletree_rows(config))
+
+
+def _run_lazy(config: BenchConfig) -> str:
+    from repro.eval.extras import format_lazy, lazy_rows
+
+    return format_lazy(lazy_rows(config))
+
+
+def _run_graph_metrics(config: BenchConfig) -> str:
+    from repro.eval.extras import format_graph_metrics, graph_metric_rows
+
+    return format_graph_metrics(graph_metric_rows(config))
+
+
+def _run_2d(config: BenchConfig) -> str:
+    from repro.eval.extras import format_two_d, two_d_rows
+
+    return format_two_d(two_d_rows(config))
+
+
+def _run_solve_phase(config: BenchConfig) -> str:
+    from repro.eval.extras import format_solve_phase, solve_phase_rows
+
+    return format_solve_phase(solve_phase_rows(config), config.procs)
+
+
+def _run_dynamic(config: BenchConfig) -> str:
+    from repro.eval.extras import dynamic_rows, format_dynamic
+
+    return format_dynamic(dynamic_rows(config))
+
+
+def _run_stability(config: BenchConfig) -> str:
+    from repro.eval.stability import format_stability, stability_rows
+
+    return format_stability(stability_rows(config))
+
+
+def _run_btf(config: BenchConfig) -> str:
+    from repro.eval.extras import btf_rows, format_btf
+
+    return format_btf(btf_rows(config))
+
+
+EXPERIMENTS: dict[str, Callable[[BenchConfig], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "ablation_amalg": _run_ablation_amalg,
+    "ablation_order": _run_ablation_ordering,
+    "ablation_mapping": _run_ablation_mapping,
+    "coletree": _run_coletree,
+    "lazy": _run_lazy,
+    "graph_metrics": _run_graph_metrics,
+    "futurework_2d": _run_2d,
+    "solve_phase": _run_solve_phase,
+    "futurework_dynamic": _run_dynamic,
+    "stability": _run_stability,
+    "btf_compare": _run_btf,
+}
+
+
+def run_experiment(exp_id: str, config: BenchConfig | None = None) -> str:
+    """Run one registered experiment and return its formatted table."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; have {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[exp_id](config or BenchConfig())

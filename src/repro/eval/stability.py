@@ -1,0 +1,74 @@
+"""Numerical-stability experiment: the threshold-pivoting trade-off.
+
+Partial pivoting (threshold 1.0) bounds the growth factor but destroys
+sparsity-friendly pivot choices; threshold pivoting accepts the diagonal
+when it is within ``τ·max|candidate|``, trading a larger growth factor for
+sparser factors — the knob every production unsymmetric solver exposes.
+This experiment measures, per threshold: element growth ``max|U| / max|A|``,
+factor nonzeros, and the backward error of a solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.config import BenchConfig
+from repro.numeric.refine import backward_error
+from repro.numeric.scalar_lu import scalar_lu
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import paper_matrix
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class StabilityPoint:
+    name: str
+    threshold: float
+    growth_factor: float
+    nnz_factors: int
+    backward_err: float
+
+
+def growth_factor(a: CSCMatrix, u_factor: CSCMatrix) -> float:
+    """Element growth ``max|u_ij| / max|a_ij|`` (the classical measure)."""
+    a_max = float(np.max(np.abs(a.data))) if a.nnz else 0.0
+    u_max = float(np.max(np.abs(u_factor.data))) if u_factor.nnz else 0.0
+    return u_max / a_max if a_max else 0.0
+
+
+def stability_rows(
+    config: BenchConfig | None = None,
+    thresholds: tuple[float, ...] = (1.0, 0.5, 0.1, 0.01),
+) -> list[StabilityPoint]:
+    config = config or BenchConfig()
+    rows = []
+    for name in ("orsreg1", "sherman5"):
+        a = paper_matrix(name, scale=config.scale * 0.6)
+        b = np.ones(a.n_cols)
+        for tau in thresholds:
+            res = scalar_lu(a, pivot_threshold=tau)
+            x = res.solve(b)
+            rows.append(
+                StabilityPoint(
+                    name=name,
+                    threshold=tau,
+                    growth_factor=growth_factor(a, res.u_factor),
+                    nnz_factors=res.nnz_factors(),
+                    backward_err=backward_error(a, x, b),
+                )
+            )
+    return rows
+
+
+def format_stability(rows: list[StabilityPoint]) -> str:
+    return format_table(
+        ["Matrix", "threshold", "growth", "nnz(L+U)", "backward err"],
+        [
+            (r.name, r.threshold, r.growth_factor, r.nnz_factors, f"{r.backward_err:.1e}")
+            for r in rows
+        ],
+        title="Threshold pivoting: growth factor vs sparsity (scalar LU)",
+        floatfmt=".3g",
+    )

@@ -1,0 +1,153 @@
+"""Dense block-column storage for the supernodal factorization.
+
+Each block column ``j`` stores one contiguous dense panel covering the full
+row ranges of its stored blocks ``B̄_{i,j}`` (padding inside a block is
+explicit zeros, as in S+). Rows are addressed by *global row id*; the id →
+panel-position lookup goes through the block boundaries, so it is O(log
+#blocks) vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.supernodes import BlockPattern
+from repro.util.errors import PatternError, ShapeError
+
+
+class BlockColumnData:
+    """All dense panels of one matrix, indexed by block column.
+
+    Parameters
+    ----------
+    a:
+        The (ordered, statically analyzable) matrix with values; its stored
+        entries are scattered into the panels.
+    bp:
+        Block pattern over the supernode partition; defines which blocks are
+        materialized.
+    owned_columns:
+        When given, only these block columns get panels (the others stay
+        ``None``) — the per-process storage of a distributed-memory run.
+        Pattern metadata (boundaries, block lists, offsets) is replicated
+        on every process, exactly as real distributed codes replicate the
+        symbolic structure.
+    """
+
+    def __init__(
+        self,
+        a: CSCMatrix,
+        bp: BlockPattern,
+        owned_columns: "set[int] | None" = None,
+    ) -> None:
+        if not a.is_square or a.n_cols != bp.partition.n:
+            raise ShapeError(
+                f"matrix ({a.shape}) and partition ({bp.partition.n}) disagree"
+            )
+        if not a.has_values:
+            raise PatternError("numeric factorization needs matrix values")
+        part = bp.partition
+        self.bp = bp
+        self.n = a.n_cols
+        self.n_blocks = bp.n_blocks
+        self.starts = part.starts  # scalar boundaries of block rows/cols
+        # block_of_row[r] = block-row index of scalar row r.
+        self.block_of_row = part.member_of()
+
+        self.owned_columns = (
+            set(range(self.n_blocks)) if owned_columns is None else set(owned_columns)
+        )
+        self.col_blocks: list[np.ndarray] = []  # ascending block ids per column
+        self.col_offsets: list[np.ndarray] = []  # panel offset of each block
+        self.panels: list = []
+        for k in range(self.n_blocks):
+            blocks = bp.col_blocks(k)
+            heights = self.starts[blocks + 1] - self.starts[blocks]
+            offsets = np.zeros(blocks.size, dtype=np.int64)
+            np.cumsum(heights[:-1], out=offsets[1:])
+            height = int(heights.sum())
+            width = int(self.starts[k + 1] - self.starts[k])
+            self.col_blocks.append(blocks.astype(np.int64))
+            self.col_offsets.append(offsets)
+            if k in self.owned_columns:
+                self.panels.append(np.zeros((height, width), dtype=np.float64))
+            else:
+                self.panels.append(None)
+
+        # Scatter A's values (owned columns only).
+        for col in range(self.n):
+            k = int(self.block_of_row[col])  # block column of scalar col
+            if k not in self.owned_columns:
+                continue
+            local_col = col - int(self.starts[k])
+            rows = a.col_rows(col)
+            vals = a.col_values(col)
+            pos, present = self.positions(k, rows)
+            if not np.all(present):
+                missing = rows[~present][:5]
+                raise PatternError(
+                    f"entries of column {col} fall outside the block pattern "
+                    f"(rows {missing.tolist()}): the pattern must cover Ā ⊇ A"
+                )
+            self.panels[k][pos, local_col] = vals
+
+    # ------------------------------------------------------------------
+    def width(self, k: int) -> int:
+        return int(self.starts[k + 1] - self.starts[k])
+
+    def positions(self, k: int, global_rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Panel positions of ``global_rows`` in block column ``k``.
+
+        Returns ``(pos, present)``; ``pos`` is only valid where ``present``.
+        """
+        global_rows = np.asarray(global_rows, dtype=np.int64)
+        blocks = self.col_blocks[k]
+        bid = self.block_of_row[global_rows]
+        idx = np.searchsorted(blocks, bid)
+        idx_clipped = np.minimum(idx, blocks.size - 1) if blocks.size else idx
+        present = (
+            (blocks.size > 0)
+            & (idx < blocks.size)
+            & (blocks[idx_clipped] == bid)
+        )
+        pos = np.zeros(global_rows.size, dtype=np.int64)
+        ok = np.nonzero(present)[0]
+        if ok.size:
+            b = idx[ok]
+            pos[ok] = self.col_offsets[k][b] + (
+                global_rows[ok] - self.starts[blocks[b]]
+            )
+        return pos, present
+
+    def diag_offset(self, k: int) -> int:
+        """Panel offset of the diagonal block in block column ``k``."""
+        blocks = self.col_blocks[k]
+        idx = int(np.searchsorted(blocks, k))
+        if idx >= blocks.size or blocks[idx] != k:
+            raise PatternError(f"diagonal block ({k},{k}) is not stored")
+        return int(self.col_offsets[k][idx])
+
+    def sub_rows(self, k: int) -> np.ndarray:
+        """Global row ids of the candidate (diagonal-and-below) panel rows."""
+        blocks = self.col_blocks[k]
+        subs = blocks[blocks >= k]
+        if subs.size == 0 or subs[0] != k:
+            raise PatternError(f"diagonal block ({k},{k}) is not stored")
+        parts = [
+            np.arange(self.starts[b], self.starts[b + 1], dtype=np.int64)
+            for b in subs
+        ]
+        return np.concatenate(parts)
+
+    def sub_panel(self, k: int) -> np.ndarray:
+        """View of the candidate rows of panel ``k`` (diagonal block first).
+
+        Contiguous because blocks are stored in ascending order, so the
+        diagonal-and-below region is the bottom slice of the panel.
+        """
+        if self.panels[k] is None:
+            raise PatternError(
+                f"block column {k} is not materialized on this process"
+            )
+        return self.panels[k][self.diag_offset(k) :, :]

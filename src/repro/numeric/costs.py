@@ -1,0 +1,69 @@
+"""Flop and communication cost model for Factor/Update tasks.
+
+The machine simulator (Table 2, Figures 5-6) charges each task its classical
+flop count and each cross-processor ``Update(k, j)`` the bytes of block
+column ``k``'s factored sub-panel — the data the 1-D scheme ships between the
+owners of columns ``k`` and ``j``. Costs depend only on the block *pattern*,
+so schedules can be priced without running numerics (the inspector half of
+the RAPID-style inspector/executor split).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.kernels import lu_panel_flops, update_flops
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.tasks import Task, enumerate_tasks
+
+_FLOAT_BYTES = 8
+_INDEX_BYTES = 4
+
+
+class CostModel:
+    """Prices tasks over a block pattern (flops and message bytes)."""
+
+    def __init__(self, bp: BlockPattern) -> None:
+        self.bp = bp
+        starts = bp.partition.starts
+        self.widths = np.diff(starts)
+        # Per block column: total candidate-panel rows and rows below diag.
+        self.panel_rows = np.zeros(bp.n_blocks, dtype=np.int64)
+        for k in range(bp.n_blocks):
+            blocks = bp.col_blocks(k)
+            subs = blocks[blocks >= k]
+            self.panel_rows[k] = int(np.sum(self.widths[subs]))
+
+    def flops(self, task: Task) -> int:
+        w_k = int(self.widths[task.k])
+        rows = int(self.panel_rows[task.k])
+        if task.kind == "F":
+            return lu_panel_flops(rows, w_k)
+        below = rows - w_k
+        return update_flops(w_k, below, int(self.widths[task.j]))
+
+    def width(self, task: Task) -> int:
+        """Kernel block width (the BLAS inner dimension): the source
+        column's supernode width for both factor and update tasks."""
+        return int(self.widths[task.k])
+
+    def comm_bytes(self, task: Task) -> int:
+        """Bytes shipped when ``task`` runs off the source column's owner
+        (0 for factor tasks, local under the 1-D mapping)."""
+        if task.kind == "F":
+            return 0
+        rows = int(self.panel_rows[task.k])
+        w_k = int(self.widths[task.k])
+        # Factored sub-panel (L and the diagonal U block) plus the pivot map.
+        return rows * w_k * _FLOAT_BYTES + 2 * rows * _INDEX_BYTES
+
+
+def task_flops(bp: BlockPattern) -> dict[Task, int]:
+    """Flop count of every task of the factorization over ``bp``."""
+    model = CostModel(bp)
+    return {task: model.flops(task) for task in enumerate_tasks(bp)}
+
+
+def task_comm_bytes(bp: BlockPattern, task: Task) -> int:
+    """One-off helper; build a :class:`CostModel` for repeated queries."""
+    return CostModel(bp).comm_bytes(task)

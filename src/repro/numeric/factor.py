@@ -1,0 +1,384 @@
+"""Task-based supernodal LU factorization with partial pivoting.
+
+:class:`LUFactorization` executes ``Factor``/``Update`` tasks against the
+dense block storage. Any topological order of a valid dependence graph
+produces the same factors (the property the task-graph tests assert); the
+right-looking sequential order is built in as the reference.
+
+Pivoting bookkeeping: ``Factor(k)`` swaps rows inside its candidate panel
+and records the renaming ``pivoted_rows[p] → sub_rows[p]`` of global row
+ids. ``Update(k, j)`` *applies* that renaming to column ``j`` before its
+TRSM/GEMM — the deferred-pivot discipline of S+ that makes the 1-D
+distributed factorization possible, and the very reason Theorem 4's
+ancestor-ordering of updates is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.numeric.blockdata import BlockColumnData
+from repro.numeric.kernels import lu_panel_inplace, solve_unit_lower
+from repro.numeric.triangular import lower_unit_solve_csc, upper_solve_csc
+from repro.sparse.coo import COOBuilder
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.tasks import Task, enumerate_tasks
+from repro.util.errors import SchedulingError
+
+
+@dataclass
+class LazyStats:
+    """Work skipped by the LazyS+-style zero-block elimination.
+
+    ``flops_saved``/``flops_spent`` are GEMM+TRSM estimates; their ratio is
+    the fraction of the static structure that never carried numerical work
+    — the quantity motivating the LazyS+ follow-up the paper cites in §2.
+    """
+
+    n_updates_skipped: int = 0
+    n_updates_run: int = 0
+    flops_saved: int = 0
+    flops_spent: int = 0
+
+    def skip_update(self, w: int, rows_below: int, w_dst: int) -> None:
+        from repro.numeric.kernels import update_flops
+
+        self.n_updates_skipped += 1
+        self.flops_saved += update_flops(w, rows_below, w_dst)
+
+    def note_gemm_rows(self, total: int, active: int, w: int, w_dst: int) -> None:
+        self.n_updates_run += 1
+        self.flops_saved += 2 * (total - active) * w * w_dst
+        self.flops_spent += w * w * w_dst + 2 * active * w * w_dst
+
+    @property
+    def saved_fraction(self) -> float:
+        denom = self.flops_saved + self.flops_spent
+        return self.flops_saved / denom if denom else 0.0
+
+
+@dataclass
+class FactorResult:
+    """Factors ``P A = L U`` in scalar CSC form.
+
+    ``orig_at[i]`` is the original row of ``A`` living at pivoted position
+    ``i``, i.e. ``(PA)[i, :] = A[orig_at[i], :]``.
+    """
+
+    l_factor: CSCMatrix
+    u_factor: CSCMatrix
+    orig_at: np.ndarray
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` via ``L U x = P b`` (vector or multi-RHS)."""
+        b = np.asarray(b, dtype=np.float64)
+        pb = b[self.orig_at]
+        y = lower_unit_solve_csc(self.l_factor, pb)
+        return upper_solve_csc(self.u_factor, y)
+
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``Aᵀ x = b`` via ``Uᵀ Lᵀ P x = b`` (vector or multi-RHS)."""
+        from repro.numeric.triangular import (
+            lower_transpose_unit_solve_csc,
+            upper_transpose_solve_csc,
+        )
+
+        b = np.asarray(b, dtype=np.float64)
+        y = upper_transpose_solve_csc(self.u_factor, b)
+        z = lower_transpose_unit_solve_csc(self.l_factor, y)
+        out = np.empty_like(z)
+        out[...] = 0.0
+        # PA = LU => Aᵀ Pᵀ = UᵀLᵀ => x = Pᵀ z: x[orig_at[i]] = z[i].
+        out[self.orig_at] = z
+        return out
+
+    def slogdet(self) -> tuple[float, float]:
+        """``(sign, log|det A|)`` from the factors (NumPy convention).
+
+        ``det(A) = det(Pᵀ) · det(L) · det(U) = sign(P) · Π u_ii``.
+        """
+        n = self.orig_at.size
+        # Permutation parity by cycle counting.
+        seen = np.zeros(n, dtype=bool)
+        sign = 1.0
+        for start in range(n):
+            if seen[start]:
+                continue
+            length = 0
+            v = start
+            while not seen[v]:
+                seen[v] = True
+                v = int(self.orig_at[v])
+                length += 1
+            if length % 2 == 0:
+                sign = -sign
+        logdet = 0.0
+        for j in range(n):
+            d = self.u_factor.get(j, j)
+            if d == 0.0:
+                return 0.0, -np.inf
+            if d < 0:
+                sign = -sign
+            logdet += float(np.log(abs(d)))
+        return sign, logdet
+
+    def reconstruct_pa_dense(self) -> np.ndarray:
+        """Dense ``L @ U`` (small-matrix tests only)."""
+        return self.l_factor.to_dense() @ self.u_factor.to_dense()
+
+
+class LUFactorization:
+    """Executes the task set of one factorization over block storage.
+
+    Parameters
+    ----------
+    a:
+        Square matrix with values, already permuted by the full symbolic
+        pipeline (transversal, fill-reducing order, postorder).
+    bp:
+        Block pattern of ``Ā`` over the supernode partition.
+    check_dependencies:
+        When True, :meth:`run_task` verifies its prerequisites ran (the
+        executors pass orders that satisfy this by construction; tests use
+        it to catch bad schedules).
+
+    Notes
+    -----
+    ``lazy_stats`` accumulates the work skipped by the zero-block (LazyS+)
+    shortcut. Under the threaded executor its counters are updated without
+    a lock and may undercount slightly; the numerics are unaffected.
+    """
+
+    def __init__(
+        self,
+        a: CSCMatrix,
+        bp: BlockPattern,
+        *,
+        check_dependencies: bool = False,
+        panel_kernel=None,
+    ) -> None:
+        self.data = BlockColumnData(a, bp)
+        self.bp = bp
+        self.n = a.n_cols
+        self.orig_at = np.arange(self.n, dtype=np.int64)
+        self.sub_rows: dict[int, np.ndarray] = {}
+        self.pivoted_rows: dict[int, np.ndarray] = {}
+        self.done: set[Task] = set()
+        self.check_dependencies = check_dependencies
+        self.lazy_stats = LazyStats()
+        # Panel kernel: ``(panel, width) -> local pivot order``; the blocked
+        # getrf variant (lu_panel_blocked) pays off on wide amalgamated
+        # supernodes.
+        self.panel_kernel = panel_kernel or lu_panel_inplace
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def run_task(self, task: Task) -> None:
+        if task in self.done:
+            raise SchedulingError(f"task {task} executed twice")
+        if task.kind == "F":
+            self._factor(task.k)
+        elif task.kind == "U":
+            self._update(task.k, task.j)
+        else:  # pragma: no cover - Task constructor prevents this
+            raise SchedulingError(f"unknown task kind {task.kind!r}")
+        self.done.add(task)
+
+    def run_order(self, order: Iterable[Task]) -> None:
+        for task in order:
+            self.run_task(task)
+
+    def factor_sequential(self) -> None:
+        """Right-looking reference order: F(k) then its updates, ascending."""
+        self.run_order(enumerate_tasks(self.bp))
+
+    # ------------------------------------------------------------------
+    def _factor(self, k: int) -> None:
+        if self.check_dependencies:
+            self._require_column_updates_done(k)
+        panel = self.data.sub_panel(k)
+        w = self.data.width(k)
+        order = self.panel_kernel(panel, w)
+        subs = self.data.sub_rows(k)
+        pivoted = subs[order]
+        self.sub_rows[k] = subs
+        self.pivoted_rows[k] = pivoted
+        changed = pivoted != subs
+        if np.any(changed):
+            moved = self.orig_at[pivoted[changed]].copy()
+            self.orig_at[subs[changed]] = moved
+
+    def _update(self, k: int, j: int) -> None:
+        if self.check_dependencies and Task("F", k, k) not in self.done:
+            raise SchedulingError(f"U({k},{j}) ran before F({k})")
+        self._apply_update(
+            j,
+            k,
+            self.sub_rows[k],
+            self.pivoted_rows[k],
+            self.data.sub_panel(k),
+        )
+
+    def _apply_update(
+        self,
+        j: int,
+        k: int,
+        subs: np.ndarray,
+        pivoted: np.ndarray,
+        m: np.ndarray,
+    ) -> None:
+        """Update column ``j`` using block column ``k``'s factored panel.
+
+        The panel may be local (shared-memory execution) or a received copy
+        (message-passing execution) — the math is identical.
+        """
+        w = self.data.width(k)
+        panel_j = self.data.panels[j]
+        if panel_j is None:
+            raise SchedulingError(
+                f"U({k},{j}) ran on a process that does not own column {j}"
+            )
+
+        # 1. Apply F(k)'s row renaming to column j (gather, then scatter —
+        #    safe under permutation cycles). Ids absent from column j carry
+        #    exact zeros, so dropping/injecting them is a no-op.
+        changed = pivoted != subs
+        if np.any(changed):
+            old_ids = pivoted[changed]
+            new_ids = subs[changed]
+            old_pos, old_present = self.data.positions(j, old_ids)
+            new_pos, new_present = self.data.positions(j, new_ids)
+            vals = np.zeros((old_ids.size, panel_j.shape[1]), dtype=np.float64)
+            if np.any(old_present):
+                vals[old_present] = panel_j[old_pos[old_present]]
+            if np.any(new_present):
+                panel_j[new_pos[new_present]] = vals[new_present]
+
+        # 2. TRSM: finalize the U block B̄_{k,j}. LazyS+ optimization (the
+        #    paper's §2 note that "some of the zero blocks can be eliminated
+        #    from the computation"): a block that is numerically zero after
+        #    the renames solves to zero, so both the TRSM and the GEMM it
+        #    would feed are skipped — bitwise identical, strictly less work.
+        diag_start = self.data.starts[k]
+        pos, present = self.data.positions(j, np.array([diag_start]))
+        if not present[0]:
+            raise SchedulingError(
+                f"U({k},{j}) scheduled but block ({k},{j}) is not stored"
+            )
+        off = int(pos[0])
+        w_j = panel_j.shape[1]
+        if not panel_j[off : off + w, :].any():
+            self.lazy_stats.skip_update(w, int(subs.size) - w, w_j)
+            return
+        u_kj = solve_unit_lower(m[:w, :w], panel_j[off : off + w, :])
+        panel_j[off : off + w, :] = u_kj
+
+        # 3. GEMM: push the update into the rows below block k that column
+        #    j materializes. Padded rows (all-zero multipliers) are skipped:
+        #    they contribute nothing, and — critically for the threaded
+        #    executor — writing their zero deltas would race with concurrent
+        #    independent-subtree updates that own those rows for real.
+        below_ids = subs[w:]
+        if not below_ids.size:
+            self.lazy_stats.note_gemm_rows(0, 0, w, w_j)
+        else:
+            l_below = m[w:, :]
+            active = np.any(l_below != 0.0, axis=1)
+            n_active = int(active.sum())
+            self.lazy_stats.note_gemm_rows(int(active.size), n_active, w, w_j)
+            if n_active:
+                bpos, bpresent = self.data.positions(j, below_ids[active])
+                if np.any(bpresent):
+                    panel_j[bpos[bpresent], :] -= l_below[active][bpresent] @ u_kj
+
+    def _require_column_updates_done(self, k: int) -> None:
+        for i in self.bp.col_blocks(k):
+            i = int(i)
+            if i < k and Task("U", i, k) not in self.done:
+                raise SchedulingError(f"F({k}) ran before U({i},{k})")
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def _final_l_labels(self) -> dict[int, np.ndarray]:
+        """Final row label of every candidate-panel position, per block.
+
+        ``Factor(k)``'s multipliers live at the slot labels current *at the
+        time* of ``F(k)``; later factorizations rename some of those slots
+        again (a pivot swap moves the whole row, multipliers included, just
+        as dense ``getrf`` swaps already-computed L columns). Composing the
+        renames in descending block order yields, for each block, the map
+        from its panel positions to final row labels. Rename composition is
+        well defined in block order because any two overlapping renames
+        belong to comparable eforest nodes, whose F tasks every dependence
+        graph orders.
+        """
+        cur = np.arange(self.n, dtype=np.int64)
+        labels: dict[int, np.ndarray] = {}
+        for k in range(self.bp.n_blocks - 1, -1, -1):
+            subs = self.sub_rows[k]
+            pivoted = self.pivoted_rows[k]
+            labels[k] = cur[subs]
+            changed = pivoted != subs
+            if np.any(changed):
+                moved = cur[subs[changed]].copy()
+                cur[pivoted[changed]] = moved
+        return labels
+
+    def extract(self, *, drop_tol: float = 0.0) -> FactorResult:
+        """Assemble scalar CSC factors; entries with ``|v| <= drop_tol`` in
+        padded positions are dropped (0.0 keeps everything nonzero)."""
+        if len(self.sub_rows) != self.bp.n_blocks:
+            missing = self.bp.n_blocks - len(self.sub_rows)
+            raise SchedulingError(f"{missing} block columns were never factored")
+        n = self.n
+        lb = COOBuilder(n, n)
+        ub = COOBuilder(n, n)
+        starts = self.data.starts
+        l_labels = self._final_l_labels()
+        for k in range(self.bp.n_blocks):
+            w = self.data.width(k)
+            panel = self.data.sub_panel(k)
+            rows_final = l_labels[k]
+            for c in range(w):
+                gcol = int(starts[k]) + c
+                lb.add(gcol, gcol, 1.0)
+                col = panel[c + 1 :, c]
+                rows = rows_final[c + 1 :]
+                nz = np.abs(col) > drop_tol
+                if np.any(nz):
+                    lb.extend(rows[nz], np.full(int(nz.sum()), gcol), col[nz])
+            # U: upper blocks of column k plus the diagonal block's upper part.
+            panel_full = self.data.panels[k]
+            for bi, b in enumerate(self.data.col_blocks[k]):
+                b = int(b)
+                if b > k:
+                    continue
+                off = int(self.data.col_offsets[k][bi])
+                h = int(starts[b + 1] - starts[b])
+                block = panel_full[off : off + h, :]
+                for c in range(w):
+                    gcol = int(starts[k]) + c
+                    if b < k:
+                        rows = np.arange(starts[b], starts[b] + h)
+                        vals = block[:, c]
+                    else:  # diagonal block: keep the upper triangle
+                        rows = np.arange(starts[b], starts[b] + c + 1)
+                        vals = block[: c + 1, c]
+                    nz = np.abs(vals) > drop_tol
+                    # The diagonal entry must always be kept.
+                    if b == k:
+                        nz = nz.copy()
+                        nz[c] = True
+                    if np.any(nz):
+                        ub.extend(rows[nz], np.full(int(nz.sum()), gcol), vals[nz])
+        return FactorResult(
+            l_factor=lb.to_csc(),
+            u_factor=ub.to_csc(),
+            orig_at=self.orig_at.copy(),
+        )

@@ -1,0 +1,341 @@
+"""High-level solver facade: the paper's full pipeline behind one API.
+
+:class:`SparseLUSolver` chains the four steps of §1 — fill-reducing ordering,
+static symbolic factorization, numerical factorization, triangular solves —
+with the paper's §3 postordering and §4 task graph in between. It is the
+entry point the examples and benchmarks use:
+
+>>> from repro.sparse import paper_matrix
+>>> from repro.numeric import SparseLUSolver
+>>> a = paper_matrix("orsreg1", scale=0.3)
+>>> solver = SparseLUSolver(a).analyze().factorize()
+>>> import numpy as np
+>>> x = solver.solve(np.ones(a.n_cols))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.numeric.factor import FactorResult, LUFactorization
+from repro.ordering.mindeg import minimum_degree_ata
+from repro.ordering.rcm import reverse_cuthill_mckee
+from repro.ordering.transversal import zero_free_diagonal_permutation
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import matvec, permute
+from repro.symbolic.postorder import postorder_pipeline
+from repro.symbolic.static_fill import StaticFill, static_symbolic_factorization
+from repro.symbolic.supernodes import (
+    BlockPattern,
+    SupernodePartition,
+    amalgamate,
+    block_pattern,
+    supernode_partition,
+)
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.eforest_graph import build_eforest_graph
+from repro.taskgraph.sstar import build_sstar_graph
+from repro.util.errors import ReproError, ShapeError
+
+
+@dataclass
+class SolverOptions:
+    """Knobs of the pipeline (paper defaults unless noted).
+
+    Attributes
+    ----------
+    ordering:
+        Fill-reducing column ordering: ``"mindeg"`` (minimum degree on
+        ``AᵀA``, the paper's choice), ``"rcm"``, or ``"natural"``.
+    postorder:
+        Apply the §3 eforest postordering (the paper's contribution; turn
+        off to reproduce the "without postordering" rows of Table 3).
+    amalgamation:
+        Merge small supernodes (§3). ``max_padding``/``max_supernode`` bound
+        the introduced explicit zeros and the block width.
+    task_graph:
+        ``"eforest"`` (the paper's §4 graph) or ``"sstar"`` (the baseline).
+    equilibrate:
+        Max-norm row/column scaling before the pipeline (SuperLU's
+        ``equil``); improves pivoting on badly scaled physical systems.
+    """
+
+    ordering: str = "mindeg"
+    postorder: bool = True
+    amalgamation: bool = True
+    max_padding: float = 0.25
+    max_supernode: int = 48
+    task_graph: str = "eforest"
+    equilibrate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ordering not in ("mindeg", "rcm", "natural"):
+            raise ValueError(f"unknown ordering {self.ordering!r}")
+        if self.task_graph not in ("eforest", "sstar"):
+            raise ValueError(f"unknown task graph {self.task_graph!r}")
+
+
+@dataclass
+class AnalysisStats:
+    """Symbolic-phase measurements (the raw material of Tables 1 and 3)."""
+
+    n: int
+    nnz: int
+    nnz_filled: int
+    fill_ratio: float
+    n_supernodes_raw: int
+    n_supernodes: int
+    mean_supernode_size: float
+    n_btf_blocks: int
+    n_tasks: int
+    n_edges: int
+
+
+class SparseLUSolver:
+    """One-stop solver for ``A x = b`` by the paper's parallel sparse LU.
+
+    Call :meth:`analyze` (symbolic pipeline), then :meth:`factorize`
+    (numeric), then :meth:`solve`. Intermediate artefacts (static fill,
+    partition, block pattern, task graph) stay accessible for the
+    benchmarks and the parallel executors.
+    """
+
+    def __init__(self, a: CSCMatrix, options: Optional[SolverOptions] = None) -> None:
+        if not a.is_square:
+            raise ShapeError("solver requires a square matrix")
+        if not a.has_values:
+            raise ShapeError("solver requires matrix values")
+        self.a = a
+        self.options = options or SolverOptions()
+        # Populated by analyze():
+        self.row_perm: Optional[np.ndarray] = None
+        self.col_perm: Optional[np.ndarray] = None
+        self.a_work: Optional[CSCMatrix] = None
+        self.fill: Optional[StaticFill] = None
+        self.partition: Optional[SupernodePartition] = None
+        self.partition_raw: Optional[SupernodePartition] = None
+        self.bp: Optional[BlockPattern] = None
+        self.graph: Optional[TaskGraph] = None
+        self.n_btf_blocks: int = 0
+        self.equil = None  # set by analyze() when options.equilibrate
+        self.timings: dict[str, float] = {}
+        # Populated by factorize():
+        self.result: Optional[FactorResult] = None
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> "SparseLUSolver":
+        """Steps (1)-(2) plus §3 postordering/supernodes and the §4 graph."""
+        from repro.util.timer import Timer
+
+        opts = self.options
+        n = self.a.n_cols
+
+        source = self.a
+        if opts.equilibrate:
+            from repro.numeric.scaling import equilibrate
+
+            with Timer() as t:
+                self.equil = equilibrate(self.a)
+                source = self.equil.apply(self.a)
+            self.timings["equilibrate"] = t.elapsed
+
+        with Timer() as t:
+            row_perm = zero_free_diagonal_permutation(source)
+            work = permute(source, row_perm=row_perm)
+        self.timings["transversal"] = t.elapsed
+        col_perm = np.arange(n, dtype=np.int64)
+
+        with Timer() as t:
+            if opts.ordering == "mindeg":
+                q = minimum_degree_ata(work)
+            elif opts.ordering == "rcm":
+                q = reverse_cuthill_mckee(work)
+            else:
+                q = np.arange(n, dtype=np.int64)
+        self.timings["ordering"] = t.elapsed
+        work = permute(work, row_perm=q, col_perm=q)
+        row_perm = q[row_perm]
+        col_perm = q[col_perm]
+
+        with Timer() as t:
+            fill = static_symbolic_factorization(work)
+        self.timings["static_fill"] = t.elapsed
+
+        with Timer() as t:
+            if opts.postorder:
+                po = postorder_pipeline(fill)
+                work = permute(work, row_perm=po.perm, col_perm=po.perm)
+                row_perm = po.perm[row_perm]
+                col_perm = po.perm[col_perm]
+                fill = po.fill
+                self.n_btf_blocks = len(po.blocks)
+            else:
+                self.n_btf_blocks = 0
+        self.timings["postorder"] = t.elapsed
+
+        with Timer() as t:
+            part_raw = supernode_partition(fill)
+            if opts.amalgamation:
+                part = amalgamate(
+                    fill,
+                    part_raw,
+                    max_padding=opts.max_padding,
+                    max_size=opts.max_supernode,
+                )
+            else:
+                part = part_raw
+            bp = block_pattern(fill, part)
+        self.timings["supernodes"] = t.elapsed
+
+        with Timer() as t:
+            if opts.task_graph == "eforest":
+                graph = build_eforest_graph(bp)
+            else:
+                graph = build_sstar_graph(bp)
+        self.timings["task_graph"] = t.elapsed
+
+        self.row_perm = row_perm
+        self.col_perm = col_perm
+        self.a_work = work
+        self.fill = fill
+        self.partition_raw = part_raw
+        self.partition = part
+        self.bp = bp
+        self.graph = graph
+        return self
+
+    def stats(self) -> AnalysisStats:
+        if self.fill is None or self.bp is None or self.graph is None:
+            raise ReproError("call analyze() first")
+        assert self.partition is not None and self.partition_raw is not None
+        return AnalysisStats(
+            n=self.fill.n,
+            nnz=self.a.nnz,
+            nnz_filled=self.fill.nnz,
+            fill_ratio=self.fill.fill_ratio,
+            n_supernodes_raw=self.partition_raw.n_supernodes,
+            n_supernodes=self.partition.n_supernodes,
+            mean_supernode_size=self.partition.mean_size(),
+            n_btf_blocks=self.n_btf_blocks,
+            n_tasks=self.graph.n_tasks,
+            n_edges=self.graph.n_edges,
+        )
+
+    # ------------------------------------------------------------------
+    def factorize(self, order=None) -> "SparseLUSolver":
+        """Numerical factorization (step (3)).
+
+        ``order`` may be any topological order of the task graph; ``None``
+        uses the right-looking sequential order.
+        """
+        from repro.util.timer import Timer
+
+        if self.a_work is None or self.bp is None:
+            raise ReproError("call analyze() first")
+        with Timer() as t:
+            engine = LUFactorization(self.a_work, self.bp)
+            if order is None:
+                engine.factor_sequential()
+            else:
+                engine.run_order(order)
+            self.result = engine.extract()
+        self.timings["factorize"] = t.elapsed
+        return self
+
+    def refactorize(self, a_new: CSCMatrix, order=None) -> "SparseLUSolver":
+        """Numeric factorization of *new values* on the same pattern.
+
+        The static symbolic analysis depends only on the pattern, so a
+        sequence of systems with a frozen sparsity structure — Newton steps
+        of a reservoir simulation, time steps of a transient solve — pays
+        for ``analyze()`` once and calls this per step. ``a_new`` must have
+        exactly the pattern of the original matrix (values free, pivoting
+        handled anew).
+        """
+        from repro.sparse.pattern import pattern_equal
+        from repro.util.timer import Timer
+
+        if self.bp is None or self.row_perm is None:
+            raise ReproError("call analyze() first")
+        if not pattern_equal(a_new.pattern_only(), self.a.pattern_only()):
+            raise ShapeError(
+                "refactorize() requires the original sparsity pattern; run a "
+                "fresh SparseLUSolver for a different structure"
+            )
+        if not a_new.has_values:
+            raise ShapeError("refactorize() requires values")
+        self.a = a_new
+        source = a_new
+        if self.equil is not None:
+            from repro.numeric.scaling import equilibrate
+
+            self.equil = equilibrate(a_new)
+            source = self.equil.apply(a_new)
+        with Timer() as t:
+            self.a_work = permute(
+                source, row_perm=self.row_perm, col_perm=self.col_perm
+            )
+            engine = LUFactorization(self.a_work, self.bp)
+            if order is None:
+                engine.factor_sequential()
+            else:
+                engine.run_order(order)
+            self.result = engine.extract()
+        self.timings["refactorize"] = t.elapsed
+        return self
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` using the computed factors (step (4))."""
+        if self.result is None:
+            raise ReproError("call factorize() first")
+        assert self.row_perm is not None and self.col_perm is not None
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.a.n_cols,):
+            raise ShapeError(f"rhs has shape {b.shape}, expected ({self.a.n_cols},)")
+        if self.equil is not None:
+            b = self.equil.scale_rhs(b)
+        b_work = np.empty_like(b)
+        b_work[self.row_perm] = b
+        x_work = self.result.solve(b_work)
+        x = x_work[self.col_perm]
+        if self.equil is not None:
+            x = self.equil.unscale_solution(x)
+        return x
+
+    def solve_refined(self, b: np.ndarray, *, max_iters: int = 5, tol: float = 1e-14):
+        """Solve with iterative refinement; returns a ``RefinementResult``.
+
+        Uses the already-computed factors for both the initial solve and the
+        residual corrections (fixed-precision refinement, as SuperLU does).
+        """
+        from repro.numeric.refine import iterative_refinement
+
+        if self.result is None:
+            raise ReproError("call factorize() first")
+        return iterative_refinement(
+            self.a, self.solve, b, max_iters=max_iters, tol=tol
+        )
+
+    def condition_estimate(self) -> float:
+        """Hager-Higham 1-norm condition estimate from the factors."""
+        from repro.numeric.refine import condest_1norm
+
+        if self.result is None:
+            raise ReproError("call factorize() first")
+        # Fold the symbolic permutations into a factor-level solve: the
+        # estimator works on A_work, whose conditioning equals A's.
+        return condest_1norm(
+            self.a_work,
+            self.result.l_factor,
+            self.result.u_factor,
+            self.result.orig_at,
+        )
+
+    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
+        """``‖A x − b‖_∞ / ‖b‖_∞`` — the acceptance metric of the tests."""
+        r = matvec(self.a, x) - np.asarray(b, dtype=np.float64)
+        denom = float(np.max(np.abs(b))) or 1.0
+        return float(np.max(np.abs(r))) / denom

@@ -1,0 +1,48 @@
+"""Step (1) of the paper's pipeline: orderings.
+
+* :mod:`repro.ordering.transversal` — Duff's maximum-transversal algorithm
+  (the paper cites [3]) producing a row permutation with a zero-free
+  diagonal, a precondition of the static symbolic factorization.
+* :mod:`repro.ordering.mindeg` — minimum degree on the ``AᵀA`` pattern, the
+  fill-reducing ordering the paper uses ("we use the minimum degree
+  algorithm on AᵀA").
+* :mod:`repro.ordering.rcm` — reverse Cuthill-McKee, an alternative ordering
+  used by the ordering ablation benchmark.
+* :mod:`repro.ordering.etree` — the column elimination tree (etree of
+  ``AᵀA``) that SuperLU postorders, used here as the baseline against the LU
+  eforest, plus generic forest utilities (postorder, depths, roots).
+"""
+
+from repro.ordering.transversal import maximum_transversal, zero_free_diagonal_permutation
+from repro.ordering.mindeg import minimum_degree, minimum_degree_ata
+from repro.ordering.rcm import reverse_cuthill_mckee
+from repro.ordering.btf import (
+    block_triangular_permutation,
+    strongly_connected_components,
+)
+from repro.ordering.etree import (
+    column_etree,
+    postorder_forest,
+    relabel_forest,
+    forest_roots,
+    forest_children,
+    forest_depths,
+    is_forest_permutation_topological,
+)
+
+__all__ = [
+    "maximum_transversal",
+    "zero_free_diagonal_permutation",
+    "minimum_degree",
+    "minimum_degree_ata",
+    "reverse_cuthill_mckee",
+    "block_triangular_permutation",
+    "strongly_connected_components",
+    "column_etree",
+    "postorder_forest",
+    "relabel_forest",
+    "forest_roots",
+    "forest_children",
+    "forest_depths",
+    "is_forest_permutation_topological",
+]

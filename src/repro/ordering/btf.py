@@ -1,0 +1,113 @@
+"""Classical block triangular form via strongly connected components.
+
+The standard sparse-direct preprocessing (Duff; implemented in UMFPACK/KLU
+as BTF): after the maximum transversal gives a zero-free diagonal, the
+strongly connected components of the matrix digraph (vertex per index, edge
+``j → i`` for every off-diagonal ``a_ij ≠ 0``) are the diagonal blocks of a
+permuted block *lower* triangular form; ordering the SCCs topologically and
+reversing yields block **upper** triangular, the same orientation the
+paper's §3 postordering produces.
+
+This exists as the classical comparator for the paper's decomposition: the
+eforest trees of ``Ā`` also tile the postordered matrix block upper
+triangularly. The classical SCC blocks depend only on ``A``'s pattern (and
+are the finest possible BUT decomposition), while the eforest blocks are
+computed on the filled ``Ā`` — comparing the two (``repro bench
+btf_compare``) shows how much of the decoupling survives the fill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.convert import csc_to_csr
+from repro.sparse.csc import CSCMatrix
+from repro.util.errors import ShapeError
+
+
+def strongly_connected_components(a: CSCMatrix) -> np.ndarray:
+    """Tarjan's algorithm on the digraph of a square matrix (iterative).
+
+    Edge ``j → i`` per stored off-diagonal ``a_ij``. Returns ``comp`` with
+    ``comp[v]`` the component id of vertex ``v``, ids numbered in *reverse
+    topological* order (Tarjan emits sinks first), so sorting vertices by
+    ``comp`` ascending gives a block upper triangular arrangement of the
+    transpose orientation — see :func:`block_triangular_permutation` for
+    the matrix-level permutation.
+    """
+    if not a.is_square:
+        raise ShapeError("SCCs of a matrix digraph need a square matrix")
+    n = a.n_cols
+    # Adjacency: successors of j = rows of column j (excluding the diagonal).
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    comp = np.full(n, -1, dtype=np.int64)
+    stack: list[int] = []
+    counter = 0
+    n_comps = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            v, ptr = work.pop()
+            if ptr == 0:
+                index[v] = lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            succ = a.col_rows(v)
+            advanced = False
+            while ptr < succ.size:
+                w = int(succ[ptr])
+                ptr += 1
+                if w == v:
+                    continue
+                if index[w] == -1:
+                    work.append((v, ptr))
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            # v is finished.
+            if lowlink[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp[w] = n_comps
+                    if w == v:
+                        break
+                n_comps += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return comp
+
+
+def block_triangular_permutation(a: CSCMatrix) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Symmetric permutation putting ``a`` into block *upper* triangular form.
+
+    ``a`` must have a zero-free diagonal (apply the maximum transversal
+    first). Returns ``(perm, blocks)`` with ``perm`` mapping old index to
+    new and ``blocks`` the half-open diagonal ranges, finest possible.
+    """
+    comp = strongly_connected_components(a)
+    # Tarjan ids come out reverse-topological w.r.t. edges j -> i (i depends
+    # on j below the diagonal); sorting ascending puts each component before
+    # everything it feeds, i.e. entries below the block diagonal vanish.
+    order = np.argsort(comp, kind="stable")
+    perm = np.empty(a.n_cols, dtype=np.int64)
+    perm[order] = np.arange(a.n_cols)
+    blocks = []
+    start = 0
+    sorted_comp = comp[order]
+    for pos in range(1, a.n_cols + 1):
+        if pos == a.n_cols or sorted_comp[pos] != sorted_comp[pos - 1]:
+            blocks.append((start, pos))
+            start = pos
+    return perm, blocks

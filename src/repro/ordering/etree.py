@@ -1,0 +1,138 @@
+"""Column elimination tree and generic forest utilities.
+
+SuperLU (the paper's shared-memory comparator) postorders the *column
+elimination tree* — the elimination tree of ``AᵀA`` — whereas the paper
+postorders the LU elimination forest of ``Ā``. This module provides the
+column etree (Liu's path-compression algorithm, computed from ``A`` without
+forming ``AᵀA``) and the forest primitives (postorder, roots, children,
+depths) shared by both tree kinds.
+
+Forests are represented as a ``parent`` array with ``parent[r] = -1`` for
+roots, the representation used throughout :mod:`repro.symbolic`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.util.errors import ShapeError
+
+
+def column_etree(a: CSCMatrix) -> np.ndarray:
+    """Elimination tree of ``AᵀA`` computed directly from ``A``.
+
+    This is Liu's algorithm with path compression (the ``cs_etree`` variant
+    with ``ata=True``): for column ``k`` and each row ``i`` of ``A_{*k}``,
+    walk from the previously seen column of row ``i`` up the virtual forest,
+    attaching roots below ``k``.
+
+    Returns the ``parent`` array (``-1`` marks roots).
+    """
+    if not a.is_square:
+        raise ShapeError("column etree requires a square matrix")
+    n = a.n_cols
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)  # path-compressed ancestors
+    prev_col = np.full(a.n_rows, -1, dtype=np.int64)  # last column seen per row
+    for k in range(n):
+        for r in a.col_rows(k):
+            i = int(prev_col[r])
+            while i != -1 and i < k:
+                inext = int(ancestor[i])
+                ancestor[i] = k
+                if inext == -1:
+                    parent[i] = k
+                i = inext
+            prev_col[r] = k
+    return parent
+
+
+def forest_roots(parent: np.ndarray) -> np.ndarray:
+    """Indices ``r`` with ``parent[r] == -1``, ascending."""
+    return np.nonzero(np.asarray(parent) == -1)[0]
+
+
+def forest_children(parent: np.ndarray) -> list[list[int]]:
+    """Children lists, each sorted ascending."""
+    parent = np.asarray(parent)
+    children: list[list[int]] = [[] for _ in range(parent.size)]
+    for v in range(parent.size):
+        p = int(parent[v])
+        if p >= 0:
+            children[p].append(v)
+    return children
+
+
+def forest_depths(parent: np.ndarray) -> np.ndarray:
+    """Depth of each node (roots have depth 0)."""
+    parent = np.asarray(parent)
+    n = parent.size
+    depth = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        # Walk up collecting the unresolved chain, then unwind it.
+        chain = []
+        u = v
+        while u != -1 and depth[u] == -1:
+            chain.append(u)
+            u = int(parent[u])
+        d = 0 if u == -1 else int(depth[u]) + 1
+        for node in reversed(chain):
+            depth[node] = d
+            d += 1
+    return depth
+
+
+def postorder_forest(parent: np.ndarray) -> np.ndarray:
+    """Postorder permutation of a forest.
+
+    Returns ``perm`` mapping old label to new label such that every node's
+    new label is smaller than its parent's (children precede parents), with
+    subtrees kept contiguous. Children are visited in ascending old-label
+    order and trees in ascending root order, so an already-postordered
+    forest maps to the identity.
+    """
+    parent = np.asarray(parent)
+    n = parent.size
+    children = forest_children(parent)
+    perm = np.empty(n, dtype=np.int64)
+    label = 0
+    for root in forest_roots(parent):
+        # Iterative DFS emitting nodes on the way *out* (postorder).
+        stack: list[tuple[int, int]] = [(int(root), 0)]
+        while stack:
+            node, next_child = stack.pop()
+            if next_child < len(children[node]):
+                stack.append((node, next_child + 1))
+                stack.append((children[node][next_child], 0))
+            else:
+                perm[node] = label
+                label += 1
+    assert label == n
+    return perm
+
+
+def relabel_forest(parent: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Parent array of the forest after relabeling nodes by ``perm``."""
+    parent = np.asarray(parent)
+    perm = np.asarray(perm)
+    new_parent = np.full(parent.size, -1, dtype=np.int64)
+    for v in range(parent.size):
+        p = int(parent[v])
+        new_parent[perm[v]] = -1 if p == -1 else perm[p]
+    return new_parent
+
+
+def is_forest_permutation_topological(parent: np.ndarray, perm: np.ndarray) -> bool:
+    """True when ``perm`` labels every node before its parent.
+
+    This is the defining property of the paper's postorder (§3): after
+    relabeling, ``new_label(child) < new_label(parent)`` for every edge.
+    """
+    parent = np.asarray(parent)
+    perm = np.asarray(perm)
+    for v in range(parent.size):
+        p = int(parent[v])
+        if p >= 0 and perm[v] >= perm[p]:
+            return False
+    return True

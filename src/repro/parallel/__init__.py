@@ -1,0 +1,75 @@
+"""Parallel execution substrate.
+
+The paper ran on a 16-processor SGI Origin 2000 with the RAPID runtime; we
+reproduce the *behaviour* with three interchangeable executors:
+
+* :mod:`repro.parallel.simulate` — a deterministic discrete-event simulator
+  over a calibrated machine model (:mod:`repro.parallel.machine`): per-task
+  flop costs, an α-β communication model, and a 1-D block-column mapping
+  (:mod:`repro.parallel.mapping`). This regenerates Table 2 and Figures 5-6.
+* :mod:`repro.parallel.rapid` — a RAPID-style inspector/executor: the
+  inspector prices and orders tasks into a static per-processor schedule;
+  the executor replays it (in simulation or on threads).
+* :mod:`repro.parallel.threads` — a real shared-memory thread-pool executor
+  that runs the task DAG against the numeric engine, proving the schedules
+  are executable and numerically identical to the sequential order.
+"""
+
+from repro.parallel.machine import MachineModel, ORIGIN2000
+from repro.parallel.mapping import (
+    cyclic_mapping,
+    blocked_mapping,
+    greedy_mapping,
+    make_mapping,
+)
+from repro.parallel.engine import EngineResult, run_event_simulation
+from repro.parallel.simulate import (
+    SimulationResult,
+    simulate_schedule,
+    simulate_solve_phase,
+)
+from repro.parallel.dynamic import DynamicRuntime
+from repro.parallel.message_passing import (
+    MessagePassingResult,
+    PanelMessage,
+    ProcessEngine,
+    message_passing_factorize,
+)
+from repro.parallel.rapid import StaticSchedule, rapid_schedule
+from repro.parallel.threads import threaded_factorize
+from repro.parallel.two_d import (
+    Task2D,
+    TwoDModel,
+    build_2d_model,
+    compare_1d_2d,
+    grid_shape,
+    simulate_2d,
+)
+
+__all__ = [
+    "MachineModel",
+    "ORIGIN2000",
+    "cyclic_mapping",
+    "blocked_mapping",
+    "greedy_mapping",
+    "make_mapping",
+    "EngineResult",
+    "run_event_simulation",
+    "SimulationResult",
+    "simulate_schedule",
+    "simulate_solve_phase",
+    "DynamicRuntime",
+    "MessagePassingResult",
+    "PanelMessage",
+    "ProcessEngine",
+    "message_passing_factorize",
+    "StaticSchedule",
+    "rapid_schedule",
+    "threaded_factorize",
+    "Task2D",
+    "TwoDModel",
+    "build_2d_model",
+    "compare_1d_2d",
+    "grid_shape",
+    "simulate_2d",
+]

@@ -1,0 +1,196 @@
+"""Generic discrete-event list-scheduling engine.
+
+The 1-D simulator (:mod:`repro.parallel.simulate`), the 2-D future-work
+model (:mod:`repro.parallel.two_d`), and the solve-phase simulation all
+share the same mechanics: tasks with fixed processor assignments and compute
+times, messages materialized lazily per (key) with a transfer delay, and
+per-processor work-conserving dispatch by bottom-level priority. This module
+hosts that core once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.util.errors import SchedulingError
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one simulated run (shared by all task models)."""
+
+    makespan: float
+    busy: np.ndarray
+    n_messages: int
+    comm_bytes: int
+    n_procs: int
+    start_times: dict = field(repr=False, default_factory=dict)
+
+    @property
+    def efficiency(self) -> float:
+        return float(self.busy.sum()) / (self.n_procs * self.makespan or 1.0)
+
+    def speedup_over(self, serial: "EngineResult") -> float:
+        return serial.makespan / self.makespan
+
+
+def bottom_levels(
+    topo_order: list, successors: Callable, cost: Callable
+) -> dict:
+    """Longest path (own cost included) from each task to an exit."""
+    level: dict = {}
+    for task in reversed(topo_order):
+        tail = max((level[s] for s in successors(task)), default=0.0)
+        level[task] = cost(task) + tail
+    return level
+
+
+def run_event_simulation(
+    tasks: list,
+    successors: Callable,
+    in_degree: Mapping,
+    *,
+    n_procs: int,
+    owner_of: Callable,
+    compute_time: Callable,
+    message_of: Optional[Callable] = None,
+    transfer_time: Optional[Callable] = None,
+    priority: Optional[Mapping] = None,
+    record_trace: bool = False,
+) -> EngineResult:
+    """Simulate a task DAG under per-processor list scheduling.
+
+    Parameters
+    ----------
+    tasks, successors, in_degree:
+        The DAG: every task, its successor list, and predecessor counts.
+    owner_of:
+        Task -> processor index in ``[0, n_procs)``.
+    compute_time:
+        Task -> seconds of compute.
+    message_of:
+        ``(src_task, dst_task) -> (key, n_bytes) | None``; a non-None result
+        on a cross-processor edge creates (once per ``(key, dst_proc)``) a
+        message of ``n_bytes`` sent when ``src`` finishes.
+    transfer_time:
+        ``n_bytes -> seconds`` (required when ``message_of`` is given).
+    priority:
+        Dispatch priority per task (default: bottom level over compute
+        time). Higher runs first among ready tasks.
+    """
+    compute = {t: float(compute_time(t)) for t in tasks}
+    if priority is None:
+        order = _topological(tasks, successors, in_degree)
+        priority = bottom_levels(order, successors, lambda t: compute[t])
+
+    n_preds = {t: int(in_degree[t]) for t in tasks}
+    dep_ready = {t: 0.0 for t in tasks}
+    finish: dict = {}
+    start_times: dict = {}
+    arrival: dict = {}
+    n_messages = 0
+    comm_bytes = 0
+
+    future: list[list[tuple[float, object]]] = [[] for _ in range(n_procs)]
+    ready: list[list[tuple[float, object]]] = [[] for _ in range(n_procs)]
+    proc_free = np.zeros(n_procs, dtype=np.float64)
+    busy = np.zeros(n_procs, dtype=np.float64)
+    owner = {t: int(owner_of(t)) for t in tasks}
+    for t, p in owner.items():
+        if not 0 <= p < n_procs:
+            raise SchedulingError(f"task {t} mapped to invalid processor {p}")
+
+    def data_time(src, dst, src_finish: float) -> float:
+        nonlocal n_messages, comm_bytes
+        if owner[src] == owner[dst] or message_of is None:
+            return src_finish
+        msg = message_of(src, dst)
+        if msg is None:
+            return src_finish
+        key, nbytes = msg
+        slot = (key, owner[dst])
+        if slot not in arrival:
+            assert transfer_time is not None
+            arrival[slot] = src_finish + float(transfer_time(nbytes))
+            n_messages += 1
+            comm_bytes += int(nbytes)
+        return arrival[slot]
+
+    def sort_key(t) -> tuple:
+        # Heap entries must be totally ordered; stringify for stability.
+        return (-priority[t], str(t))
+
+    def enqueue(task) -> None:
+        p = owner[task]
+        heapq.heappush(future[p], (dep_ready[task], str(task), task))
+
+    def pull(p: int, now: float) -> None:
+        while future[p] and future[p][0][0] <= now:
+            _, _, task = heapq.heappop(future[p])
+            heapq.heappush(ready[p], (*sort_key(task), task))
+
+    for t, d in n_preds.items():
+        if d == 0:
+            enqueue(t)
+
+    n_done, total = 0, len(tasks)
+    while n_done < total:
+        best = None
+        for p in range(n_procs):
+            pull(p, proc_free[p])
+            if ready[p]:
+                cand = (proc_free[p], ready[p][0][0], p)
+            elif future[p]:
+                rdy, _, task = future[p][0]
+                cand = (max(proc_free[p], rdy), sort_key(task)[0], p)
+            else:
+                continue
+            if best is None or cand < best:
+                best = cand
+        if best is None:
+            raise SchedulingError("deadlock: tasks remain but none is ready")
+        start, _, p = best
+        pull(p, start)
+        _, _, task = heapq.heappop(ready[p])
+        end = start + compute[task]
+        proc_free[p] = end
+        busy[p] += compute[task]
+        finish[task] = end
+        if record_trace:
+            start_times[task] = start
+        n_done += 1
+        for succ in successors(task):
+            avail = data_time(task, succ, end)
+            dep_ready[succ] = max(dep_ready[succ], avail)
+            n_preds[succ] -= 1
+            if n_preds[succ] == 0:
+                enqueue(succ)
+
+    return EngineResult(
+        makespan=max(finish.values(), default=0.0),
+        busy=busy,
+        n_messages=n_messages,
+        comm_bytes=comm_bytes,
+        n_procs=n_procs,
+        start_times=start_times,
+    )
+
+
+def _topological(tasks: list, successors: Callable, in_degree: Mapping) -> list:
+    indeg = {t: int(in_degree[t]) for t in tasks}
+    ready = [t for t, d in indeg.items() if d == 0]
+    out = []
+    while ready:
+        t = ready.pop()
+        out.append(t)
+        for s in successors(t):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(out) != len(tasks):
+        raise SchedulingError("cycle detected in task DAG")
+    return out

@@ -1,0 +1,52 @@
+"""1-D block-column mappings: which processor owns which block column.
+
+The paper uses a 1-D scheme — "an entire column block k is assigned to one
+processor" — with the RAPID system choosing the assignment. We provide the
+classic policies; the mapping ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.costs import CostModel
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.tasks import enumerate_tasks
+
+
+def cyclic_mapping(n_blocks: int, n_procs: int) -> np.ndarray:
+    """Round-robin: block ``k`` on processor ``k mod P`` (the default)."""
+    return np.arange(n_blocks, dtype=np.int64) % n_procs
+
+
+def blocked_mapping(n_blocks: int, n_procs: int) -> np.ndarray:
+    """Contiguous chunks of block columns per processor."""
+    return (np.arange(n_blocks, dtype=np.int64) * n_procs) // max(1, n_blocks)
+
+
+def greedy_mapping(bp: BlockPattern, n_procs: int) -> np.ndarray:
+    """Load-balancing: assign columns in descending work order to the
+    least-loaded processor (work = flops of all tasks targeting the column).
+    """
+    model = CostModel(bp)
+    work = np.zeros(bp.n_blocks, dtype=np.float64)
+    for task in enumerate_tasks(bp):
+        work[task.target] += model.flops(task)
+    owner = np.zeros(bp.n_blocks, dtype=np.int64)
+    load = np.zeros(n_procs, dtype=np.float64)
+    for k in np.argsort(-work, kind="stable"):
+        p = int(np.argmin(load))
+        owner[k] = p
+        load[p] += work[k]
+    return owner
+
+
+def make_mapping(policy: str, bp: BlockPattern, n_procs: int) -> np.ndarray:
+    """Build a mapping by name: ``cyclic``, ``blocked``, or ``greedy``."""
+    if policy == "cyclic":
+        return cyclic_mapping(bp.n_blocks, n_procs)
+    if policy == "blocked":
+        return blocked_mapping(bp.n_blocks, n_procs)
+    if policy == "greedy":
+        return greedy_mapping(bp, n_procs)
+    raise ValueError(f"unknown mapping policy {policy!r}")

@@ -1,0 +1,132 @@
+"""Deterministic discrete-event simulation of a 1-D task-graph schedule.
+
+Models the paper's execution environment: every task runs on the owner of
+its target block column (1-D mapping); a cross-processor ``Update(k, j)``
+first needs block column ``k``'s factored panel, shipped once per
+(source, destination-processor) pair when ``F(k)`` completes (the
+inspector-executor runtime pre-posts these sends, so they overlap with
+computation). Each processor greedily runs the highest-priority ready task
+(priority = bottom level, the classic list-scheduling heuristic RAPID's
+scheduling layer approximates).
+
+The event mechanics live in :mod:`repro.parallel.engine` (shared with the
+2-D future-work model); this module instantiates them for the paper's 1-D
+block-column world. The simulator is exact and reproducible: same inputs →
+same makespan, which is what lets the benchmark tables be regenerated
+deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.costs import CostModel
+from repro.parallel.engine import EngineResult, run_event_simulation
+from repro.parallel.machine import MachineModel
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.tasks import Task
+from repro.util.errors import SchedulingError
+
+#: Public alias: all simulators return the same result type.
+SimulationResult = EngineResult
+
+
+def simulate_schedule(
+    graph: TaskGraph,
+    bp: BlockPattern,
+    machine: MachineModel,
+    owner: np.ndarray,
+    *,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Simulate ``graph`` on ``machine`` under the 1-D mapping ``owner``.
+
+    Parameters
+    ----------
+    graph:
+        A validated task dependence graph (S* or eforest).
+    bp:
+        The block pattern the tasks operate on (for costs).
+    machine:
+        Processor and network parameters.
+    owner:
+        ``owner[k]`` = processor of block column ``k``; every task runs on
+        ``owner[task.target]``.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    if owner.size != bp.n_blocks:
+        raise SchedulingError(
+            f"mapping covers {owner.size} columns, pattern has {bp.n_blocks}"
+        )
+    if owner.size and (owner.min() < 0 or owner.max() >= machine.n_procs):
+        raise SchedulingError("mapping assigns a column to a nonexistent processor")
+
+    model = CostModel(bp)
+    tasks = graph.tasks()
+    indeg = {t: graph.in_degree(t) for t in tasks}
+
+    def message_of(src: Task, dst: Task):
+        # Only F(k) -> U(k, j) edges cross processors under the 1-D map
+        # (update chains and the final F share the target column's owner);
+        # the datum is block column k's factored sub-panel, sent once per
+        # destination processor.
+        if src.kind == "F" and dst.kind == "U" and dst.k == src.k:
+            return ("panel", src.k), model.comm_bytes(dst)
+        return ("edge", src, dst), 0
+
+    return run_event_simulation(
+        tasks,
+        graph.successors,
+        indeg,
+        n_procs=machine.n_procs,
+        owner_of=lambda t: int(owner[t.target]),
+        compute_time=lambda t: machine.compute_time(model.flops(t), model.width(t)),
+        message_of=message_of,
+        transfer_time=machine.transfer_time,
+        record_trace=record_trace,
+    )
+
+
+def simulate_solve_phase(
+    bp: BlockPattern,
+    machine: MachineModel,
+    owner: np.ndarray,
+    *,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Simulate the step-(4) triangular solves under the same 1-D mapping.
+
+    Cross-processor edges ship one solution piece (``y_i`` or ``x_j``, the
+    width of its block column) per (piece, destination) pair.
+    """
+    from repro.taskgraph.solve_graph import build_solve_graph, solve_task_flops
+
+    owner = np.asarray(owner, dtype=np.int64)
+    if owner.size != bp.n_blocks:
+        raise SchedulingError(
+            f"mapping covers {owner.size} columns, pattern has {bp.n_blocks}"
+        )
+    graph = build_solve_graph(bp)
+    flops = solve_task_flops(bp)
+    widths = np.diff(bp.partition.starts)
+    tasks = graph.tasks()
+    indeg = {t: graph.in_degree(t) for t in tasks}
+
+    def message_of(src: Task, dst: Task):
+        # The datum is src's solution piece: w_k doubles.
+        return ((src.kind, src.k), int(widths[src.k]) * 8)
+
+    return run_event_simulation(
+        tasks,
+        graph.successors,
+        indeg,
+        n_procs=machine.n_procs,
+        owner_of=lambda t: int(owner[t.target]),
+        compute_time=lambda t: machine.compute_time(
+            flops[t], int(widths[t.k])
+        ),
+        message_of=message_of,
+        transfer_time=machine.transfer_time,
+        record_trace=record_trace,
+    )

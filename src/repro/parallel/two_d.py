@@ -1,0 +1,223 @@
+"""2-D partitioning of the factorization — the paper's first future-work item.
+
+§6: "Future work consists ... to extend our methods for a 2D partitioning of
+the matrix." This module provides that extension at the task-model level,
+following the elimination-forest-guided 2-D formulation of S+ (Shen, Jiao &
+Yang): ownership is per *block* on a ``pr x pc`` processor grid instead of
+per block column, and the task granularity refines accordingly:
+
+* ``F(k)``      — factor the diagonal block ``(k,k)``;
+* ``SL(k,i)``   — scale lower block: ``L(i,k) = A(i,k) U_kk⁻¹``;
+* ``SU(k,j)``   — scale upper block: ``U(k,j) = L_kk⁻¹ A(k,j)``;
+* ``UP(k,i,j)`` — rank-``w_k`` update ``A(i,j) -= L(i,k) U(k,j)`` for every
+  stored block ``(i,j)``.
+
+Dependences: ``F(k)`` gates its scales; each update needs both its scale
+inputs; and every task writing block ``(i,j)`` precedes the task that
+*consumes* the finished block (``F(j)`` when ``i = j``, ``SL(j,i)`` when
+``i > j``, ``SU(i,j)`` when ``i < j``).
+
+Scope note: this is a *machine-model* extension used to study scalability
+(the motivation for 2-D is that 1-D column ownership serializes each
+column's updates on one processor); partial-pivoting row exchange is not
+modelled at the block-row level, matching the simulation-only status the
+paper assigns this direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.numeric.kernels import lu_panel_flops
+from repro.parallel.engine import EngineResult, run_event_simulation
+from repro.parallel.machine import MachineModel
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.tasks import _upper_blocks_by_source
+
+_FLOAT_BYTES = 8
+
+
+class Task2D(NamedTuple):
+    """One task of the 2-D factorization; ``(i, j)`` is the block it writes."""
+
+    kind: str  # "F", "SL", "SU", "UP"
+    k: int
+    i: int
+    j: int
+
+    def __str__(self) -> str:
+        if self.kind == "F":
+            return f"F({self.k})"
+        if self.kind == "SL":
+            return f"SL({self.k},{self.i})"
+        if self.kind == "SU":
+            return f"SU({self.k},{self.j})"
+        return f"UP({self.k},{self.i},{self.j})"
+
+
+@dataclass
+class TwoDModel:
+    """The 2-D task DAG plus its cost annotations."""
+
+    bp: BlockPattern
+    tasks: list[Task2D]
+    succ: dict[Task2D, list[Task2D]]
+    indeg: dict[Task2D, int]
+    flops: dict[Task2D, int]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self.succ.values())
+
+
+def build_2d_model(bp: BlockPattern) -> TwoDModel:
+    """Enumerate the 2-D tasks and dependences over ``B̄``."""
+    n = bp.n_blocks
+    widths = np.diff(bp.partition.starts)
+    upper = _upper_blocks_by_source(bp)
+    lower = [bp.col_blocks(k)[bp.col_blocks(k) > k].tolist() for k in range(n)]
+    stored = [set(int(b) for b in bp.col_blocks(j)) for j in range(n)]
+
+    tasks: list[Task2D] = []
+    succ: dict[Task2D, list[Task2D]] = {}
+    indeg: dict[Task2D, int] = {}
+    flops: dict[Task2D, int] = {}
+
+    def add(t: Task2D, cost: int) -> None:
+        tasks.append(t)
+        succ[t] = []
+        indeg[t] = 0
+        flops[t] = cost
+
+    def edge(a: Task2D, b: Task2D) -> None:
+        succ[a].append(b)
+        indeg[b] += 1
+
+    def consumer(i: int, j: int) -> Task2D:
+        """Task that reads the fully-updated block (i, j)."""
+        if i == j:
+            return Task2D("F", i, i, i)
+        if i > j:
+            return Task2D("SL", j, i, j)
+        return Task2D("SU", i, i, j)
+
+    # Pass 1: create all tasks with their flop costs.
+    for k in range(n):
+        w = int(widths[k])
+        add(Task2D("F", k, k, k), lu_panel_flops(w, w))
+        for i in lower[k]:
+            add(Task2D("SL", k, int(i), k), int(widths[i]) * w * w)
+        for j in upper[k]:
+            add(Task2D("SU", k, k, int(j)), w * w * int(widths[j]))
+    for k in range(n):
+        w = int(widths[k])
+        for i in lower[k]:
+            for j in upper[k]:
+                if int(i) in stored[int(j)]:
+                    add(
+                        Task2D("UP", k, int(i), int(j)),
+                        2 * int(widths[i]) * w * int(widths[j]),
+                    )
+
+    task_set = set(tasks)
+
+    # Pass 2: wire dependences.
+    for t in tasks:
+        if t.kind == "F":
+            k = t.k
+            for i in lower[k]:
+                edge(t, Task2D("SL", k, int(i), k))
+            for j in upper[k]:
+                edge(t, Task2D("SU", k, k, int(j)))
+        elif t.kind == "UP":
+            edge(Task2D("SL", t.k, t.i, t.k), t)
+            edge(Task2D("SU", t.k, t.k, t.j), t)
+            cons = consumer(t.i, t.j)
+            if cons in task_set:
+                edge(t, cons)
+            # A block no task consumes (e.g. in the last block column with
+            # no factor step after it) just accumulates; no edge needed.
+    return TwoDModel(bp=bp, tasks=tasks, succ=succ, indeg=indeg, flops=flops)
+
+
+def grid_shape(n_procs: int) -> tuple[int, int]:
+    """Most-square ``pr x pc`` factorization of the processor count."""
+    pr = int(np.sqrt(n_procs))
+    while n_procs % pr:
+        pr -= 1
+    return pr, n_procs // pr
+
+
+def simulate_2d(
+    bp: BlockPattern,
+    machine: MachineModel,
+    *,
+    model: TwoDModel | None = None,
+    record_trace: bool = False,
+) -> EngineResult:
+    """Simulate the 2-D factorization on a ``pr x pc`` grid of
+    ``machine.n_procs`` processors (2-D block-cyclic ownership)."""
+    if model is None:
+        model = build_2d_model(bp)
+    pr, pc = grid_shape(machine.n_procs)
+    widths = np.diff(bp.partition.starts)
+
+    def owner_of(t: Task2D) -> int:
+        return (t.i % pr) * pc + (t.j % pc)
+
+    def message_of(src: Task2D, dst: Task2D):
+        # The datum shipped is the block src wrote; dedup key = that block
+        # (plus the source step, since a block is rewritten per update).
+        if src.kind == "F":
+            nbytes = int(widths[src.k]) ** 2 * _FLOAT_BYTES
+            return ("D", src.k), nbytes
+        if src.kind == "SL":
+            nbytes = int(widths[src.i]) * int(widths[src.k]) * _FLOAT_BYTES
+            return ("L", src.i, src.k), nbytes
+        if src.kind == "SU":
+            nbytes = int(widths[src.k]) * int(widths[src.j]) * _FLOAT_BYTES
+            return ("U", src.k, src.j), nbytes
+        nbytes = int(widths[src.i]) * int(widths[src.j]) * _FLOAT_BYTES
+        return ("UPD", src.k, src.i, src.j), nbytes
+
+    return run_event_simulation(
+        model.tasks,
+        lambda t: model.succ[t],
+        model.indeg,
+        n_procs=machine.n_procs,
+        owner_of=owner_of,
+        compute_time=lambda t: machine.compute_time(
+            model.flops[t], int(widths[t.k])
+        ),
+        message_of=message_of,
+        transfer_time=machine.transfer_time,
+        record_trace=record_trace,
+    )
+
+
+def compare_1d_2d(
+    bp: BlockPattern,
+    graph_1d,
+    machine: MachineModel,
+) -> dict[str, float]:
+    """Makespans of the 1-D eforest schedule and the 2-D model on the same
+    machine — the scalability comparison motivating the future work."""
+    from repro.parallel.mapping import cyclic_mapping
+    from repro.parallel.simulate import simulate_schedule
+
+    r1 = simulate_schedule(
+        graph_1d, bp, machine, cyclic_mapping(bp.n_blocks, machine.n_procs)
+    )
+    r2 = simulate_2d(bp, machine)
+    return {
+        "makespan_1d": r1.makespan,
+        "makespan_2d": r2.makespan,
+        "gain_2d": 1.0 - r2.makespan / r1.makespan,
+    }

@@ -1,0 +1,102 @@
+"""Conversions between CSC, CSR, dense arrays, and SciPy sparse matrices.
+
+SciPy conversions exist only for oracle testing (``scipy.sparse.linalg.splu``
+residual checks); the library itself never routes through SciPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix, INDEX_DTYPE, VALUE_DTYPE
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ShapeError
+
+
+def csc_to_csr(a: CSCMatrix) -> CSRMatrix:
+    """Re-compress a CSC matrix by rows (O(nnz) bucket sort)."""
+    counts = np.bincount(a.indices, minlength=a.n_rows)
+    indptr = np.zeros(a.n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(a.nnz, dtype=INDEX_DTYPE)
+    data = None if a.data is None else np.empty(a.nnz, dtype=VALUE_DTYPE)
+    fill = indptr[:-1].copy()
+    for j in range(a.n_cols):
+        lo, hi = a.indptr[j], a.indptr[j + 1]
+        rows = a.indices[lo:hi]
+        dest = fill[rows]
+        indices[dest] = j
+        if data is not None:
+            data[dest] = a.data[lo:hi]
+        fill[rows] += 1
+    return CSRMatrix(a.n_rows, a.n_cols, indptr, indices, data, check=False)
+
+
+def csr_to_csc(a: CSRMatrix) -> CSCMatrix:
+    """Re-compress a CSR matrix by columns (O(nnz) bucket sort)."""
+    counts = np.bincount(a.indices, minlength=a.n_cols)
+    indptr = np.zeros(a.n_cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(a.nnz, dtype=INDEX_DTYPE)
+    data = None if a.data is None else np.empty(a.nnz, dtype=VALUE_DTYPE)
+    fill = indptr[:-1].copy()
+    for i in range(a.n_rows):
+        lo, hi = a.indptr[i], a.indptr[i + 1]
+        cols = a.indices[lo:hi]
+        dest = fill[cols]
+        indices[dest] = i
+        if data is not None:
+            data[dest] = a.data[lo:hi]
+        fill[cols] += 1
+    return CSCMatrix(a.n_rows, a.n_cols, indptr, indices, data, check=False)
+
+
+def csc_from_dense(dense: np.ndarray, *, tol: float = 0.0) -> CSCMatrix:
+    """Compress a dense 2-D array, keeping entries with ``|a_ij| > tol``."""
+    dense = np.asarray(dense, dtype=VALUE_DTYPE)
+    if dense.ndim != 2:
+        raise ShapeError(f"expected a 2-D array, got ndim={dense.ndim}")
+    n_rows, n_cols = dense.shape
+    mask = np.abs(dense) > tol
+    counts = mask.sum(axis=0)
+    indptr = np.zeros(n_cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    rows_all, data_all = [], []
+    for j in range(n_cols):
+        rows = np.nonzero(mask[:, j])[0]
+        rows_all.append(rows)
+        data_all.append(dense[rows, j])
+    indices = (
+        np.concatenate(rows_all).astype(INDEX_DTYPE)
+        if rows_all
+        else np.empty(0, dtype=INDEX_DTYPE)
+    )
+    data = (
+        np.concatenate(data_all) if data_all else np.empty(0, dtype=VALUE_DTYPE)
+    )
+    return CSCMatrix(n_rows, n_cols, indptr, indices, data, check=False)
+
+
+def csc_to_scipy(a: CSCMatrix):
+    """Convert to ``scipy.sparse.csc_matrix`` (oracle tests only)."""
+    import scipy.sparse as sp
+
+    data = a.data if a.data is not None else np.ones(a.nnz, dtype=VALUE_DTYPE)
+    return sp.csc_matrix((data, a.indices.copy(), a.indptr.copy()), shape=a.shape)
+
+
+def csc_from_scipy(a) -> CSCMatrix:
+    """Convert any SciPy sparse matrix to :class:`CSCMatrix`."""
+    import scipy.sparse as sp
+
+    a = sp.csc_matrix(a)
+    a.sum_duplicates()
+    a.sort_indices()
+    return CSCMatrix(
+        a.shape[0],
+        a.shape[1],
+        a.indptr.astype(np.int64),
+        a.indices.astype(INDEX_DTYPE),
+        a.data.astype(VALUE_DTYPE),
+        check=False,
+    )

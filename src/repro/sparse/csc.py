@@ -1,0 +1,214 @@
+"""Compressed sparse column (CSC) matrix container.
+
+This is the library's canonical matrix representation: the fill-reducing
+ordering, static symbolic factorization, and supernode partitioning all walk
+columns. Indices are ``int32`` (the paper's matrices are far below the 2^31
+entry limit) and values ``float64``; a matrix may be *pattern-only*
+(``data is None``) because most of the symbolic pipeline never touches
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.errors import PatternError, ShapeError
+
+INDEX_DTYPE = np.int32
+VALUE_DTYPE = np.float64
+
+
+def _validate_structure(
+    n_rows: int, n_cols: int, indptr: np.ndarray, indices: np.ndarray
+) -> None:
+    if n_rows < 0 or n_cols < 0:
+        raise ShapeError(f"negative dimensions ({n_rows}, {n_cols})")
+    if indptr.ndim != 1 or indptr.shape[0] != n_cols + 1:
+        raise PatternError(
+            f"indptr must have length n_cols+1={n_cols + 1}, got {indptr.shape}"
+        )
+    if indptr[0] != 0:
+        raise PatternError("indptr[0] must be 0")
+    if np.any(np.diff(indptr) < 0):
+        raise PatternError("indptr must be non-decreasing")
+    if indptr[-1] != indices.shape[0]:
+        raise PatternError(
+            f"indptr[-1]={indptr[-1]} disagrees with len(indices)={indices.shape[0]}"
+        )
+    if indices.size:
+        if indices.min(initial=0) < 0 or indices.max(initial=-1) >= n_rows:
+            raise PatternError("row index out of range")
+    # Per-column: strictly increasing row indices (sorted, no duplicates).
+    for j in range(n_cols):
+        col = indices[indptr[j] : indptr[j + 1]]
+        if col.size > 1 and np.any(np.diff(col) <= 0):
+            raise PatternError(f"column {j} has unsorted or duplicate row indices")
+
+
+class CSCMatrix:
+    """An ``n_rows x n_cols`` sparse matrix in compressed sparse column form.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.
+    indptr:
+        ``int`` array of length ``n_cols + 1``; column ``j`` occupies
+        ``indices[indptr[j]:indptr[j+1]]``.
+    indices:
+        Row indices, strictly increasing within each column.
+    data:
+        Values aligned with ``indices``, or ``None`` for a pattern-only
+        matrix.
+    check:
+        Validate the structure (O(nnz)); disable only on hot internal paths
+        that construct provably valid arrays.
+    """
+
+    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: Optional[np.ndarray] = None,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        if data is not None:
+            data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+            if data.shape != self.indices.shape:
+                raise ShapeError(
+                    f"data length {data.shape} != indices length {self.indices.shape}"
+                )
+        self.data = data
+        if check:
+            _validate_structure(self.n_rows, self.n_cols, self.indptr, self.indices)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def is_square(self) -> bool:
+        return self.n_rows == self.n_cols
+
+    @property
+    def has_values(self) -> bool:
+        return self.data is not None
+
+    def col_rows(self, j: int) -> np.ndarray:
+        """Row indices of column ``j`` (a view, do not mutate)."""
+        return self.indices[self.indptr[j] : self.indptr[j + 1]]
+
+    def col_values(self, j: int) -> np.ndarray:
+        """Values of column ``j`` (a view); requires a value-carrying matrix."""
+        if self.data is None:
+            raise PatternError("pattern-only matrix has no values")
+        return self.data[self.indptr[j] : self.indptr[j + 1]]
+
+    def diagonal(self) -> np.ndarray:
+        """Dense vector of diagonal values (zeros where absent)."""
+        if self.data is None:
+            raise PatternError("pattern-only matrix has no values")
+        n = min(self.n_rows, self.n_cols)
+        d = np.zeros(n, dtype=VALUE_DTYPE)
+        for j in range(n):
+            lo, hi = self.indptr[j], self.indptr[j + 1]
+            pos = np.searchsorted(self.indices[lo:hi], j)
+            if pos < hi - lo and self.indices[lo + pos] == j:
+                d[j] = self.data[lo + pos]
+        return d
+
+    def get(self, i: int, j: int) -> float:
+        """Value at ``(i, j)`` (0.0 if not stored)."""
+        if self.data is None:
+            raise PatternError("pattern-only matrix has no values")
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        pos = int(np.searchsorted(self.indices[lo:hi], i))
+        if pos < hi - lo and self.indices[lo + pos] == i:
+            return float(self.data[lo + pos])
+        return 0.0
+
+    def has_entry(self, i: int, j: int) -> bool:
+        """True when ``(i, j)`` is in the stored pattern."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        pos = int(np.searchsorted(self.indices[lo:hi], i))
+        return pos < hi - lo and self.indices[lo + pos] == i
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self) -> "CSCMatrix":
+        return CSCMatrix(
+            self.n_rows,
+            self.n_cols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            None if self.data is None else self.data.copy(),
+            check=False,
+        )
+
+    def pattern_only(self) -> "CSCMatrix":
+        """Drop values, sharing the index arrays."""
+        return CSCMatrix(
+            self.n_rows, self.n_cols, self.indptr, self.indices, None, check=False
+        )
+
+    def with_values(self, data: np.ndarray) -> "CSCMatrix":
+        """Attach a value array to this pattern (shares index arrays)."""
+        return CSCMatrix(
+            self.n_rows, self.n_cols, self.indptr, self.indices, data, check=False
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ``float64`` array (tests/small examples)."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        data = self.data if self.data is not None else np.ones(self.nnz)
+        for j in range(self.n_cols):
+            lo, hi = self.indptr[j], self.indptr[j + 1]
+            out[self.indices[lo:hi], j] = data[lo:hi]
+        return out
+
+    def transpose(self) -> "CSCMatrix":
+        """Return ``Aᵀ`` as a new CSC matrix (an O(nnz) bucket sort)."""
+        n, m = self.n_rows, self.n_cols
+        counts = np.bincount(self.indices, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(self.nnz, dtype=INDEX_DTYPE)
+        data = None if self.data is None else np.empty(self.nnz, dtype=VALUE_DTYPE)
+        fill = indptr[:-1].copy()
+        for j in range(m):
+            lo, hi = self.indptr[j], self.indptr[j + 1]
+            rows = self.indices[lo:hi]
+            dest = fill[rows]
+            indices[dest] = j
+            if data is not None:
+                data[dest] = self.data[lo:hi]
+            fill[rows] += 1
+        return CSCMatrix(m, n, indptr, indices, data, check=False)
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "values" if self.has_values else "pattern"
+        return (
+            f"CSCMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz}, {kind})"
+        )

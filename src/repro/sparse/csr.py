@@ -1,0 +1,89 @@
+"""Compressed sparse row (CSR) matrix container.
+
+A thin row-major sibling of :class:`repro.sparse.csc.CSCMatrix`. The static
+symbolic factorization and the Theorem 1/2 structure predictors reason about
+*rows* of ``Ū`` and ``L̄``, so having a first-class CSR view avoids repeated
+transposes in those code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix, INDEX_DTYPE, VALUE_DTYPE, _validate_structure
+from repro.util.errors import PatternError, ShapeError
+
+
+class CSRMatrix:
+    """An ``n_rows x n_cols`` sparse matrix in compressed sparse row form.
+
+    Structurally identical to :class:`CSCMatrix` with the roles of rows and
+    columns exchanged: row ``i`` occupies ``indices[indptr[i]:indptr[i+1]]``
+    and holds strictly increasing column indices.
+    """
+
+    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: Optional[np.ndarray] = None,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        if data is not None:
+            data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+            if data.shape != self.indices.shape:
+                raise ShapeError("data length mismatch")
+        self.data = data
+        if check:
+            # Reuse CSC validation with the transposed interpretation.
+            _validate_structure(self.n_cols, self.n_rows, self.indptr, self.indices)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def has_values(self) -> bool:
+        return self.data is not None
+
+    def row_cols(self, i: int) -> np.ndarray:
+        """Column indices of row ``i`` (a view, do not mutate)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_values(self, i: int) -> np.ndarray:
+        if self.data is None:
+            raise PatternError("pattern-only matrix has no values")
+        return self.data[self.indptr[i] : self.indptr[i + 1]]
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        data = self.data if self.data is not None else np.ones(self.nnz)
+        for i in range(self.n_rows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            out[i, self.indices[lo:hi]] = data[lo:hi]
+        return out
+
+    def to_csc(self) -> CSCMatrix:
+        """Convert to CSC (bucket sort, preserves values)."""
+        from repro.sparse.convert import csr_to_csc
+
+        return csr_to_csc(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "values" if self.has_values else "pattern"
+        return f"CSRMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz}, {kind})"

@@ -1,0 +1,258 @@
+"""Matrix file I/O.
+
+Two formats cover the paper's data provenance:
+
+* **Matrix Market** (``.mtx``) — the format Tim Davis's collection (the
+  paper's second matrix source) distributes today; read and write.
+* **Rutherford–Boeing / Harwell–Boeing** (``.rb``/``.rua``) — the original
+  Harwell–Boeing Collection format named in §5; read-only, covering the
+  ``RUA``/``RSA``/``PUA``/``PSA`` variants the benchmark matrices use.
+
+If the user has the real sherman3 et al. on disk, these readers let the whole
+harness run on them instead of the synthetic analogs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.sparse.coo import COOBuilder
+from repro.sparse.csc import CSCMatrix, VALUE_DTYPE
+from repro.util.errors import FormatError
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _open_text(source: PathOrFile):
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r"), True
+
+
+# ---------------------------------------------------------------------------
+# Matrix Market
+# ---------------------------------------------------------------------------
+
+def read_matrix_market(source: PathOrFile) -> CSCMatrix:
+    """Read a Matrix Market coordinate file (real/integer/pattern).
+
+    Symmetric and skew-symmetric storage are expanded to the full matrix.
+    Pattern files produce a pattern-with-ones matrix so the symbolic pipeline
+    can run on them directly.
+    """
+    fh, should_close = _open_text(source)
+    try:
+        header = fh.readline()
+        parts = header.strip().split()
+        if len(parts) != 5 or parts[0] != "%%MatrixMarket":
+            raise FormatError(f"not a MatrixMarket header: {header!r}")
+        _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+        if obj != "matrix" or fmt != "coordinate":
+            raise FormatError(f"only coordinate matrices supported, got {obj}/{fmt}")
+        if field not in ("real", "integer", "pattern"):
+            raise FormatError(f"unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise FormatError(f"bad size line: {line!r}")
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+
+        builder = COOBuilder(n_rows, n_cols)
+        count = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            toks = line.split()
+            i, j = int(toks[0]) - 1, int(toks[1]) - 1
+            v = 1.0 if field == "pattern" else float(toks[2])
+            builder.add(i, j, v)
+            if symmetry == "symmetric" and i != j:
+                builder.add(j, i, v)
+            elif symmetry == "skew-symmetric" and i != j:
+                builder.add(j, i, -v)
+            count += 1
+        if count != nnz:
+            raise FormatError(f"expected {nnz} entries, found {count}")
+        return builder.to_csc()
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_matrix_market(a: CSCMatrix, target: PathOrFile) -> None:
+    """Write a CSC matrix as a general real coordinate Matrix Market file."""
+    if hasattr(target, "write"):
+        fh, should_close = target, False
+    else:
+        fh, should_close = open(target, "w"), True
+    try:
+        field = "real" if a.has_values else "pattern"
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        fh.write(f"{a.n_rows} {a.n_cols} {a.nnz}\n")
+        for j in range(a.n_cols):
+            lo, hi = a.indptr[j], a.indptr[j + 1]
+            for k in range(lo, hi):
+                if a.has_values:
+                    fh.write(f"{a.indices[k] + 1} {j + 1} {a.data[k]:.17g}\n")
+                else:
+                    fh.write(f"{a.indices[k] + 1} {j + 1}\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_rutherford_boeing(
+    a: CSCMatrix, target: PathOrFile, *, title: str = "repro export", key: str = "repro"
+) -> None:
+    """Write a CSC matrix as an assembled Harwell-Boeing file (RUA/PUA).
+
+    Uses fixed formats ``(13I8)`` for pointers/indices and ``(3E25.16)``
+    for values; real unsymmetric (``RUA``) when values are present,
+    pattern (``PUA``) otherwise.
+    """
+    if hasattr(target, "write"):
+        fh, should_close = target, False
+    else:
+        fh, should_close = open(target, "w"), True
+    try:
+        n_rows, n_cols, nnz = a.n_rows, a.n_cols, a.nnz
+
+        def fixed_int_lines(values, per_line=13, width=8):
+            lines = []
+            for i in range(0, len(values), per_line):
+                chunk = values[i : i + per_line]
+                lines.append("".join(f"{int(v):>{width}d}" for v in chunk))
+            return lines
+
+        def fixed_real_lines(values, per_line=3, width=25):
+            lines = []
+            for i in range(0, len(values), per_line):
+                chunk = values[i : i + per_line]
+                lines.append("".join(f"{float(v):>{width}.16E}" for v in chunk))
+            return lines
+
+        ptr_lines = fixed_int_lines((a.indptr + 1).tolist())
+        ind_lines = fixed_int_lines((a.indices + 1).tolist())
+        val_lines = fixed_real_lines(a.data.tolist()) if a.has_values else []
+        total = len(ptr_lines) + len(ind_lines) + len(val_lines)
+        mxtype = "rua" if a.has_values else "pua"
+
+        fh.write(f"{title:<72.72s}{key:<8.8s}\n")
+        fh.write(
+            f"{total:>14d}{len(ptr_lines):>14d}{len(ind_lines):>14d}"
+            f"{len(val_lines):>14d}\n"
+        )
+        fh.write(
+            f"{mxtype:<14s}{n_rows:>14d}{n_cols:>14d}{nnz:>14d}{0:>14d}\n"
+        )
+        if a.has_values:
+            fh.write(f"{'(13I8)':<16s}{'(13I8)':<16s}{'(3E25.16)':<20s}\n")
+        else:
+            fh.write(f"{'(13I8)':<16s}{'(13I8)':<16s}\n")
+        for line in ptr_lines + ind_lines + val_lines:
+            fh.write(line + "\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+# ---------------------------------------------------------------------------
+# Rutherford-Boeing / Harwell-Boeing
+# ---------------------------------------------------------------------------
+
+def _parse_fortran_format(spec: str) -> tuple[int, int]:
+    """Return ``(repeat, width)`` from a format like ``(13I6)`` or ``(3E26.18)``."""
+    spec = spec.strip().strip("()").upper()
+    for marker in ("I", "E", "D", "F", "G"):
+        if marker in spec:
+            head, _, tail = spec.partition(marker)
+            repeat = int(head) if head else 1
+            width = int(tail.split(".")[0])
+            return repeat, width
+    raise FormatError(f"cannot parse Fortran format {spec!r}")
+
+
+def _read_fixed(fh: TextIO, count: int, fmt: str, convert) -> np.ndarray:
+    repeat, width = _parse_fortran_format(fmt)
+    out = []
+    while len(out) < count:
+        line = fh.readline()
+        if not line:
+            raise FormatError("unexpected end of file in data section")
+        line = line.rstrip("\n")
+        for k in range(repeat):
+            field = line[k * width : (k + 1) * width]
+            if not field.strip():
+                continue
+            out.append(convert(field.replace("D", "E").replace("d", "e")))
+            if len(out) == count:
+                break
+    return np.asarray(out)
+
+
+def read_rutherford_boeing(source: PathOrFile) -> CSCMatrix:
+    """Read a Harwell-Boeing / Rutherford-Boeing assembled matrix.
+
+    Supports real/pattern unsymmetric and symmetric variants (``RUA``,
+    ``RSA``, ``PUA``, ``PSA``); symmetric storage is expanded.
+    """
+    fh, should_close = _open_text(source)
+    try:
+        fh.readline()  # title line (ignored)
+        line2 = fh.readline().split()
+        if len(line2) < 4:
+            raise FormatError("bad RB header line 2")
+        ptr_lines, ind_lines, val_lines = int(line2[1]), int(line2[2]), int(line2[3])
+        line3 = fh.readline()
+        mxtype = line3[:3].upper()
+        toks = line3[3:].split()
+        n_rows, n_cols, nnz = int(toks[0]), int(toks[1]), int(toks[2])
+        if mxtype[1] not in ("U", "S") or mxtype[2] != "A":
+            raise FormatError(f"unsupported matrix type {mxtype!r}")
+        if mxtype[0] not in ("R", "P"):
+            raise FormatError(f"unsupported value type {mxtype[0]!r}")
+        fmts = fh.readline().split()
+        if len(fmts) < 2:
+            raise FormatError("bad RB format line")
+        ptr_fmt, ind_fmt = fmts[0], fmts[1]
+        val_fmt = fmts[2] if len(fmts) > 2 else None
+
+        indptr = _read_fixed(fh, n_cols + 1, ptr_fmt, int) - 1
+        indices = _read_fixed(fh, nnz, ind_fmt, int) - 1
+        if mxtype[0] == "R":
+            if nnz == 0:
+                data = np.empty(0, dtype=VALUE_DTYPE)
+            elif val_fmt is None or val_lines == 0:
+                raise FormatError("real matrix lacks a value section")
+            else:
+                data = _read_fixed(fh, nnz, val_fmt, float).astype(VALUE_DTYPE)
+        else:
+            data = np.ones(nnz, dtype=VALUE_DTYPE)
+
+        if mxtype[1] == "S":
+            builder = COOBuilder(n_rows, n_cols)
+            for j in range(n_cols):
+                for k in range(indptr[j], indptr[j + 1]):
+                    i = int(indices[k])
+                    builder.add(i, j, float(data[k]))
+                    if i != j:
+                        builder.add(j, i, float(data[k]))
+            return builder.to_csc()
+
+        # Columns may be unsorted in the wild; normalize through COO.
+        builder = COOBuilder(n_rows, n_cols)
+        cols = np.repeat(np.arange(n_cols), np.diff(indptr))
+        builder.extend(indices.astype(np.int64), cols, data)
+        return builder.to_csc()
+    finally:
+        if should_close:
+            fh.close()

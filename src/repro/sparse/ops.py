@@ -1,0 +1,124 @@
+"""Structural and numerical operations on CSC matrices.
+
+Permutation is the workhorse here: the pipeline permutes for the zero-free
+diagonal (row permutation from the maximum transversal), for fill reduction
+(symmetric-ish column+row), and for the postorder (strictly symmetric, to
+preserve the diagonal and produce the block upper triangular form of §3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix, INDEX_DTYPE, VALUE_DTYPE
+from repro.util.errors import PatternError, ShapeError
+
+
+def _check_perm(p: np.ndarray, n: int, what: str) -> np.ndarray:
+    p = np.asarray(p, dtype=np.int64)
+    if p.shape != (n,):
+        raise ShapeError(f"{what} permutation has shape {p.shape}, expected ({n},)")
+    if not np.array_equal(np.sort(p), np.arange(n)):
+        raise PatternError(f"{what} permutation is not a permutation of 0..{n - 1}")
+    return p
+
+
+def permute(
+    a: CSCMatrix,
+    row_perm: Optional[np.ndarray] = None,
+    col_perm: Optional[np.ndarray] = None,
+) -> CSCMatrix:
+    """Return ``B`` with ``B[row_perm[i], col_perm[j]] = A[i, j]``.
+
+    Both permutations map *old* index to *new* index. Passing ``None`` leaves
+    that side unpermuted. A symmetric permutation (``row_perm is col_perm``)
+    maps diagonal to diagonal, which is what the postordering step requires.
+    """
+    if row_perm is None and col_perm is None:
+        return a.copy()
+    rp = (
+        np.arange(a.n_rows, dtype=np.int64)
+        if row_perm is None
+        else _check_perm(row_perm, a.n_rows, "row")
+    )
+    cp = (
+        np.arange(a.n_cols, dtype=np.int64)
+        if col_perm is None
+        else _check_perm(col_perm, a.n_cols, "column")
+    )
+    # Destination column for each old column; we must emit columns in new
+    # order, and re-sort row indices after relabeling.
+    inv_cp = np.empty_like(cp)
+    inv_cp[cp] = np.arange(a.n_cols)
+    indptr = np.zeros(a.n_cols + 1, dtype=np.int64)
+    indices = np.empty(a.nnz, dtype=INDEX_DTYPE)
+    data = None if a.data is None else np.empty(a.nnz, dtype=VALUE_DTYPE)
+    pos = 0
+    for new_j in range(a.n_cols):
+        old_j = inv_cp[new_j]
+        lo, hi = a.indptr[old_j], a.indptr[old_j + 1]
+        rows = rp[a.indices[lo:hi]]
+        order = np.argsort(rows, kind="stable")
+        cnt = hi - lo
+        indices[pos : pos + cnt] = rows[order]
+        if data is not None:
+            data[pos : pos + cnt] = a.data[lo:hi][order]
+        pos += cnt
+        indptr[new_j + 1] = pos
+    return CSCMatrix(a.n_rows, a.n_cols, indptr, indices, data, check=False)
+
+
+def matvec(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """Compute ``A @ x`` column-wise."""
+    if a.data is None:
+        raise PatternError("pattern-only matrix has no values")
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    if x.shape != (a.n_cols,):
+        raise ShapeError(f"x has shape {x.shape}, expected ({a.n_cols},)")
+    y = np.zeros(a.n_rows, dtype=VALUE_DTYPE)
+    for j in range(a.n_cols):
+        lo, hi = a.indptr[j], a.indptr[j + 1]
+        if hi > lo:
+            y[a.indices[lo:hi]] += a.data[lo:hi] * x[j]
+    return y
+
+
+def extract_dense_block(
+    a: CSCMatrix, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Gather ``A[rows, cols]`` into a dense block (zeros where unstored).
+
+    ``rows`` must be sorted ascending; used by the supernodal factorization
+    to scatter the original values into block storage.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    out = np.zeros((rows.size, cols.size), dtype=VALUE_DTYPE)
+    if a.data is None:
+        raise PatternError("pattern-only matrix has no values")
+    if rows.size == 0:
+        return out
+    for k, j in enumerate(cols):
+        lo, hi = a.indptr[j], a.indptr[j + 1]
+        col_rows = a.indices[lo:hi]
+        pos = np.searchsorted(rows, col_rows)
+        ok = (pos < rows.size) & (rows[np.minimum(pos, rows.size - 1)] == col_rows)
+        out[pos[ok], k] = a.data[lo:hi][ok]
+    return out
+
+
+def lower_profile(a: CSCMatrix) -> tuple[int, int]:
+    """Count stored entries strictly below / strictly above the diagonal.
+
+    Returns ``(n_lower, n_upper)``; used to sanity-check the block upper
+    triangular decomposition produced by the postordering.
+    """
+    n_lower = 0
+    n_upper = 0
+    for j in range(a.n_cols):
+        rows = a.col_rows(j)
+        n_lower += int(np.count_nonzero(rows > j))
+        n_upper += int(np.count_nonzero(rows < j))
+    return n_lower, n_upper

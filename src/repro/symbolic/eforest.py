@@ -1,0 +1,143 @@
+"""LU elimination forest (paper Definition 1).
+
+For the statically-filled matrix ``Ā``: node ``k`` is the parent of ``j``
+iff ``k = min{ r > j : ū_jr ≠ 0 }`` *and* column ``j`` of ``L̄`` has
+off-diagonal entries (``|L̄_*j| > 1``). Nodes whose ``L̄`` column is a lone
+diagonal are roots, which is what makes this a forest rather than a tree.
+
+The *extended* eforest of Figure 1 additionally annotates each node with the
+first nonzero of its ``L̄`` row (the deepest node of the row's branch) and
+exposes subtree queries used by the Theorem 1-2 characterization and by the
+task-graph construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ordering.etree import forest_children, forest_roots
+from repro.symbolic.static_fill import StaticFill
+
+
+def lu_elimination_forest(fill: StaticFill) -> np.ndarray:
+    """Parent array of the LU eforest of ``Ā`` (``-1`` marks roots)."""
+    n = fill.n
+    parent = np.full(n, -1, dtype=np.int64)
+    u_rows = fill.u_rows()
+    for j in range(n):
+        # |L̄_*j| > 1 ⇔ column j has entries strictly below the diagonal.
+        col = fill.pattern.col_rows(j)
+        if not np.any(col > j):
+            continue
+        row = u_rows[j]
+        after = row[row > j]
+        if after.size:
+            parent[j] = int(after[0])
+    return parent
+
+
+@dataclass
+class ExtendedEForest:
+    """LU eforest with DFS numbering and the Figure 1 annotations.
+
+    Attributes
+    ----------
+    parent:
+        Parent array (``-1`` for roots).
+    first_l_in_row:
+        ``first_l_in_row[i]`` = smallest column index of row ``i`` of ``L̄``
+        (the left italics of Figure 1; equals ``i`` when row ``i`` of ``L̄``
+        is a lone diagonal).
+    """
+
+    parent: np.ndarray
+    first_l_in_row: np.ndarray
+    children: list[list[int]] = field(repr=False)
+    _pre: np.ndarray = field(repr=False)
+    _post: np.ndarray = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        return self.parent.size
+
+    @property
+    def roots(self) -> np.ndarray:
+        return forest_roots(self.parent)
+
+    def is_ancestor(self, a: int, d: int) -> bool:
+        """True when ``a`` is an ancestor of ``d`` (or ``a == d``)."""
+        return bool(self._pre[a] <= self._pre[d] and self._post[a] >= self._post[d])
+
+    def subtree(self, x: int) -> np.ndarray:
+        """All nodes of ``T[x]`` (the subtree rooted at ``x``), ascending."""
+        nodes = np.nonzero(
+            (self._pre >= self._pre[x]) & (self._post <= self._post[x])
+        )[0]
+        return nodes
+
+    def path_to_root(self, v: int) -> list[int]:
+        """``v``, parent(v), ... up to (and including) the root of its tree."""
+        out = [int(v)]
+        while self.parent[out[-1]] != -1:
+            out.append(int(self.parent[out[-1]]))
+        return out
+
+    def root_of(self, v: int) -> int:
+        return self.path_to_root(v)[-1]
+
+    def leaves(self) -> np.ndarray:
+        """Nodes with no children, ascending."""
+        return np.array(
+            [v for v in range(self.n) if not self.children[v]], dtype=np.int64
+        )
+
+    def depth(self, v: int) -> int:
+        return len(self.path_to_root(v)) - 1
+
+
+def extended_eforest(fill: StaticFill) -> ExtendedEForest:
+    """Build the extended eforest of ``Ā`` with DFS numbering."""
+    parent = lu_elimination_forest(fill)
+    n = parent.size
+    children = forest_children(parent)
+
+    pre = np.empty(n, dtype=np.int64)
+    post = np.empty(n, dtype=np.int64)
+    clock = 0
+    for root in forest_roots(parent):
+        stack: list[tuple[int, int]] = [(int(root), 0)]
+        pre[root] = clock
+        clock += 1
+        while stack:
+            node, next_child = stack.pop()
+            if next_child < len(children[node]):
+                stack.append((node, next_child + 1))
+                child = children[node][next_child]
+                pre[child] = clock
+                clock += 1
+                stack.append((child, 0))
+            else:
+                post[node] = clock
+                clock += 1
+
+    # Left italics of Figure 1: first L̄ nonzero per row.
+    first_l = np.empty(n, dtype=np.int64)
+    csr_rows = fill.pattern
+    # Row-wise min column with col <= i: cheapest from the L columns.
+    first_l[:] = np.arange(n)
+    for j in range(n):
+        below = csr_rows.col_rows(j)
+        below = below[below > j]
+        for i in below:
+            if j < first_l[i]:
+                first_l[i] = j
+
+    return ExtendedEForest(
+        parent=parent,
+        first_l_in_row=first_l,
+        children=children,
+        _pre=pre,
+        _post=post,
+    )

@@ -1,0 +1,200 @@
+"""Postordering the LU eforest (paper §3).
+
+Relabel the columns (and rows, symmetrically, to preserve the zero-free
+diagonal) so that every node is numbered before its parent and subtrees stay
+contiguous. Theorem 3: the static symbolic factorization is invariant under
+this permutation — only node labels change, so the postordered matrix can be
+factored with exactly the same fill while its supernodes become larger and
+``PᵀĀP`` is block upper triangular with one diagonal block per eforest tree.
+
+Two implementations are provided, as in the paper:
+
+* :func:`postorder_pipeline` — the depth-first-search postorder the authors
+  "preferred to code ... for the ease of implementation". Production path.
+* :func:`paper_postorder_interchanges` — the adjacent row/column interchange
+  algorithm of §3 (the ``postorder(R₁,...,Rₙ)`` pseudo-code), which realizes
+  the same relabeling as a sequence of ``(x, x+1)`` transpositions. It is
+  O(n²) swaps in the worst case and exists for fidelity and for the unit
+  tests that check both approaches yield valid postorders of the same
+  forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ordering.etree import (
+    forest_roots,
+    is_forest_permutation_topological,
+    postorder_forest,
+    relabel_forest,
+)
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import permute
+from repro.symbolic.eforest import lu_elimination_forest
+from repro.symbolic.static_fill import StaticFill
+from repro.util.errors import PatternError
+
+
+@dataclass
+class PostorderResult:
+    """Outcome of the §3 postordering step.
+
+    Attributes
+    ----------
+    perm:
+        Symmetric permutation, old label → new label.
+    fill:
+        The permuted static fill ``PᵀĀP`` (Theorem 3: identical nnz).
+    parent_before, parent_after:
+        The eforest before and after relabeling (same shape, new labels).
+    blocks:
+        Diagonal blocks ``(start, stop)`` of the block upper triangular
+        decomposition — one per eforest tree, in label order.
+    """
+
+    perm: np.ndarray
+    fill: StaticFill
+    parent_before: np.ndarray
+    parent_after: np.ndarray
+    blocks: list[tuple[int, int]]
+
+
+def postorder_pipeline(fill: StaticFill) -> PostorderResult:
+    """DFS-postorder the LU eforest of ``fill`` and permute symmetrically."""
+    parent = lu_elimination_forest(fill)
+    perm = postorder_forest(parent)
+    permuted = permute(fill.pattern, row_perm=perm, col_perm=perm)
+    new_fill = StaticFill(pattern=permuted, nnz_original=fill.nnz_original)
+    parent_after = relabel_forest(parent, perm)
+    blocks = block_upper_triangular_blocks(parent_after)
+    return PostorderResult(
+        perm=perm,
+        fill=new_fill,
+        parent_before=parent,
+        parent_after=parent_after,
+        blocks=blocks,
+    )
+
+
+def block_upper_triangular_blocks(parent_postordered: np.ndarray) -> list[tuple[int, int]]:
+    """Diagonal blocks of ``PᵀĀP``: the trees of the postordered eforest.
+
+    After a postorder every tree occupies the contiguous label range
+    ``[root - |T[root]| + 1, root]``; entries of ``L̄`` stay inside a tree
+    (the branch property) so cross-tree entries are upper-triangular only.
+    Returns half-open ``(start, stop)`` ranges covering ``0..n``.
+    """
+    parent = np.asarray(parent_postordered)
+    n = parent.size
+    sizes = np.ones(n, dtype=np.int64)
+    for v in range(n):  # children have smaller labels: one ascending pass
+        p = int(parent[v])
+        if p >= 0:
+            sizes[p] += sizes[v]
+    blocks = []
+    for root in forest_roots(parent):
+        start = int(root) - int(sizes[root]) + 1
+        blocks.append((start, int(root) + 1))
+    blocks.sort()
+    # Validate the cover (a non-postordered parent array would fail here).
+    pos = 0
+    for start, stop in blocks:
+        if start != pos or stop <= start:
+            raise PatternError(
+                "parent array is not postordered: trees are not contiguous"
+            )
+        pos = stop
+    if pos != n:
+        raise PatternError("blocks do not cover the matrix")
+    return blocks
+
+
+def is_block_upper_triangular(pattern: CSCMatrix, blocks: list[tuple[int, int]]) -> bool:
+    """True when all entries below the block diagonal are absent."""
+    block_of = np.empty(pattern.n_cols, dtype=np.int64)
+    for b, (start, stop) in enumerate(blocks):
+        block_of[start:stop] = b
+    for j in range(pattern.n_cols):
+        rows = pattern.col_rows(j)
+        if rows.size and np.any(block_of[rows] > block_of[j]):
+            return False
+    return True
+
+
+def paper_postorder_interchanges(parent: np.ndarray) -> np.ndarray:
+    """The §3 adjacent-interchange postorder, returning old→new labels.
+
+    Processes trees in descending root order; within the current subtree it
+    repeatedly finds the largest member label ``x`` whose successor ``x+1``
+    is a non-member below the root and swaps the two labels — an adjacent
+    row+column interchange on the matrix — until the subtree is contiguous,
+    then recurses into the children. Each swap preserves the forest (child
+    labels stay below parent labels), mirroring the candidate-pivot-row
+    argument in the proof of Theorem 3.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.size
+    # Work on node identities; only labels move.
+    label_of = np.arange(n, dtype=np.int64)  # node -> current label
+    node_at = np.arange(n, dtype=np.int64)  # label -> node
+
+    children: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        if parent[v] >= 0:
+            children[int(parent[v])].append(v)
+
+    def subtree_nodes(node: int) -> list[int]:
+        out = []
+        stack = [node]
+        while stack:
+            v = stack.pop()
+            out.append(v)
+            stack.extend(children[v])
+        return out
+
+    def swap_labels(x: int) -> None:
+        a, b = int(node_at[x]), int(node_at[x + 1])
+        node_at[x], node_at[x + 1] = b, a
+        label_of[a], label_of[b] = x + 1, x
+
+    def normalize(node: int) -> None:
+        members = subtree_nodes(node)
+        member_labels = {int(label_of[v]) for v in members}
+        root_label = int(label_of[node])
+        # Bubble members upward until they form [root-|T|+1, root].
+        while True:
+            gaps = [
+                x
+                for x in member_labels
+                if x + 1 < root_label and (x + 1) not in member_labels
+            ]
+            if not gaps:
+                break
+            x = max(gaps)
+            swap_labels(x)
+            member_labels.discard(x)
+            member_labels.add(x + 1)
+        for child in sorted(children[node], key=lambda c: -int(label_of[c])):
+            normalize(child)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, n + 100))
+    try:
+        roots = sorted(
+            (int(r) for r in forest_roots(parent)),
+            key=lambda r: -int(label_of[r]),
+        )
+        for root in roots:
+            normalize(root)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    perm = label_of.copy()
+    if not is_forest_permutation_topological(parent, perm):
+        raise PatternError("interchange postorder produced a non-topological order")
+    return perm

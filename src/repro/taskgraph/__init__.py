@@ -1,0 +1,33 @@
+"""Task dependence graphs for the block LU factorization (paper §4).
+
+The task model (from S*): for each block column ``k`` a task ``Factor(k)``
+(factorize and pivot the column), and for each stored upper block
+``B̄_{k,j} ≠ 0`` a task ``Update(k,j)`` (update column ``j`` by column ``k``).
+
+Two dependence graphs over those tasks:
+
+* :mod:`repro.taskgraph.sstar` — the S* baseline: updates to a column are
+  serialized in ascending source order, pessimistically.
+* :mod:`repro.taskgraph.eforest_graph` — the paper's graph: ``U(i,k)``
+  precedes ``U(i',k)`` only when ``i' = parent(i)`` in the block LU eforest
+  (Theorem 4); updates from independent subtrees run concurrently.
+
+:mod:`repro.taskgraph.dag` provides the shared DAG machinery (validation,
+topological orders, levels, critical path, DOT export).
+"""
+
+from repro.taskgraph.tasks import Task, factor_task, update_task, enumerate_tasks
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.sstar import build_sstar_graph
+from repro.taskgraph.eforest_graph import block_eforest, build_eforest_graph
+
+__all__ = [
+    "Task",
+    "factor_task",
+    "update_task",
+    "enumerate_tasks",
+    "TaskGraph",
+    "build_sstar_graph",
+    "block_eforest",
+    "build_eforest_graph",
+]

@@ -1,0 +1,75 @@
+"""Task dependence graphs for the triangular solves (paper step (4)).
+
+The factorization's task system extends naturally to the solve phase: under
+the 1-D mapping, block column ``k``'s owner computes the forward-solve piece
+``y_k`` and the backward-solve piece ``x_k``. The eforest structure shows up
+again: independent subtrees of the (block) forest solve concurrently, so a
+postordered matrix with many trees exposes solve-phase parallelism too.
+
+Tasks
+-----
+* ``FS(k)`` — forward: ``y_k = L_kk⁻¹ (b_k − Σ_{i<k, B̄(k,i)≠0} L(k,i) y_i)``;
+  depends on ``FS(i)`` for every stored lower block in block *row* ``k``.
+* ``BS(k)`` — backward: ``x_k = U_kk⁻¹ (y_k − Σ_{j>k} U(k,j) x_j)``;
+  depends on ``FS(k)`` and on ``BS(j)`` for every stored upper block in
+  block row ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.tasks import Task, _upper_blocks_by_source
+
+
+def forward_task(k: int) -> Task:
+    return Task("FS", k, k)
+
+
+def backward_task(k: int) -> Task:
+    return Task("BS", k, k)
+
+
+def build_solve_graph(bp: BlockPattern) -> TaskGraph:
+    """Dependence graph of one forward+backward solve over ``B̄``."""
+    n = bp.n_blocks
+    g = TaskGraph()
+    upper = _upper_blocks_by_source(bp)
+    for k in range(n):
+        g.add_task(forward_task(k))
+        g.add_task(backward_task(k))
+        g.add_edge(forward_task(k), backward_task(k))
+    for i in range(n):
+        # Lower block (k, i) for k > i: row k of L uses y_i.
+        col = bp.col_blocks(i)
+        for k in col[col > i]:
+            g.add_edge(forward_task(i), forward_task(int(k)))
+        # Upper block (i, j): row i of U uses x_j.
+        for j in upper[i]:
+            g.add_edge(backward_task(int(j)), backward_task(i))
+    return g
+
+
+def solve_task_flops(bp: BlockPattern) -> dict[Task, int]:
+    """Flop counts: triangular solve on the diagonal block plus one GEMV per
+    stored off-diagonal block in the task's block row."""
+    widths = np.diff(bp.partition.starts)
+    upper = _upper_blocks_by_source(bp)
+    # Row-wise lower structure: lower_row[k] = blocks i < k with B̄(k,i)≠0.
+    lower_row: list[list[int]] = [[] for _ in range(bp.n_blocks)]
+    for i in range(bp.n_blocks):
+        col = bp.col_blocks(i)
+        for k in col[col > i]:
+            lower_row[int(k)].append(i)
+    out: dict[Task, int] = {}
+    for k in range(bp.n_blocks):
+        w = int(widths[k])
+        fs = w * w  # unit-lower solve on the diagonal block
+        fs += sum(2 * w * int(widths[i]) for i in lower_row[k])
+        bs = w * w
+        bs += sum(2 * w * int(widths[j]) for j in upper[k])
+        out[forward_task(k)] = fs
+        out[backward_task(k)] = bs
+    return out

@@ -1,0 +1,48 @@
+"""The S* task dependence graph (baseline, paper §4 and Figure 4(b)).
+
+S* derives dependences from the factored matrix structure alone: all updates
+into a block column are serialized by ascending source index, and the last
+one gates the column's factorization. Formally, for each target column ``j``
+with update sources ``k₁ < k₂ < ... < k_m``:
+
+* ``F(k_i) → U(k_i, j)`` for every ``i``;
+* ``U(k_i, j) → U(k_{i+1}, j)`` — the pessimistic serial chain;
+* ``U(k_m, j) → F(j)``.
+
+The chain is sufficient but includes *false* dependences: two updates whose
+sources lie in independent eforest subtrees touch disjoint rows and could run
+in either order — which is exactly the slack the paper's graph reclaims.
+"""
+
+from __future__ import annotations
+
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.tasks import factor_task, update_task, _upper_blocks_by_source
+
+
+def build_sstar_graph(bp: BlockPattern) -> TaskGraph:
+    """Build the S* dependence graph over the block pattern ``B̄``."""
+    g = TaskGraph()
+    n = bp.n_blocks
+    for k in range(n):
+        g.add_task(factor_task(k))
+
+    upper = _upper_blocks_by_source(bp)
+    # sources[j] = ascending update sources k with B̄_{k,j} ≠ 0.
+    sources: list[list[int]] = [[] for _ in range(n)]
+    for k in range(n):
+        for j in upper[k]:
+            sources[j].append(k)
+
+    for j in range(n):
+        prev = None
+        for k in sources[j]:  # already ascending
+            u = update_task(k, j)
+            g.add_edge(factor_task(k), u)
+            if prev is not None:
+                g.add_edge(prev, u)
+            prev = u
+        if prev is not None:
+            g.add_edge(prev, factor_task(j))
+    return g

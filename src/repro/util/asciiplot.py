@@ -1,0 +1,90 @@
+"""Tiny ASCII line charts for the figure reproductions.
+
+Figures 5 and 6 of the paper are line plots of the improvement ratio against
+the processor count; :func:`line_chart` renders the same series in the
+terminal so the benchmark output is readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+    y_format: str = "+.1%",
+) -> str:
+    """Render named series over shared x values as an ASCII chart.
+
+    Each series gets a marker from ``_MARKERS``; points are placed on a
+    ``height x width`` grid with a labelled y-axis and the x values printed
+    beneath their columns.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_values)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} has {len(ys)} points, expected {n}")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1e-9
+    pad = 0.08 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+    # Column of each x index (even spread).
+    cols = [
+        int(round(i * (width - 1) / max(1, n - 1))) if n > 1 else width // 2
+        for i in range(n)
+    ]
+
+    def row_of(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for i, y in enumerate(ys):
+            r, c = row_of(float(y)), cols[i]
+            grid[r][c] = marker if grid[r][c] == " " else "?"
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(format(y_min, y_format)), len(format(y_max, y_format))
+    )
+    for r in range(height):
+        if r == 0:
+            label = format(y_max, y_format)
+        elif r == height - 1:
+            label = format(y_min, y_format)
+        elif r == height // 2:
+            label = format((y_min + y_max) / 2, y_format)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |" + "".join(grid[r]))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_row = [" "] * width
+    for i, c in enumerate(cols):
+        s = str(x_values[i])
+        for k, ch in enumerate(s):
+            if c + k < width:
+                x_row[c + k] = ch
+    lines.append(" " * label_width + "  " + "".join(x_row))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Typed exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError`` and friends propagate as-is).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or matrix has an incompatible or non-square shape."""
+
+
+class PatternError(ReproError, ValueError):
+    """A sparsity pattern is malformed (unsorted, duplicated, out of range)."""
+
+
+class SingularMatrixError(ReproError, ArithmeticError):
+    """Numerical singularity: a zero (or below-threshold) pivot was met."""
+
+
+class StructurallySingularError(ReproError, ValueError):
+    """The matrix has no zero-free diagonal under any row permutation."""
+
+
+class SchedulingError(ReproError, ValueError):
+    """A task graph or schedule is invalid (cyclic, unmapped task, ...)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A matrix file is malformed or uses an unsupported format variant."""

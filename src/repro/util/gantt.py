@@ -1,0 +1,73 @@
+"""ASCII Gantt chart for simulated schedules.
+
+Renders the per-processor timeline of an :class:`EngineResult` trace so a
+schedule can be eyeballed: where the idle gaps are, how the critical chain
+snakes across processors, what amalgamation did to task granularity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+_FACTOR_CHAR = "#"
+_UPDATE_CHAR = "="
+_IDLE_CHAR = "."
+
+
+def gantt_chart(
+    start_times: Mapping,
+    compute_time,
+    owner_of,
+    n_procs: int,
+    *,
+    width: int = 100,
+    title: str | None = None,
+) -> str:
+    """Render one row per processor over ``width`` time columns.
+
+    Parameters
+    ----------
+    start_times:
+        Task -> simulated start time (``record_trace=True`` output).
+    compute_time:
+        Task -> duration in seconds.
+    owner_of:
+        Task -> processor index.
+    n_procs:
+        Number of processor rows.
+
+    ``#`` cells are factor-kind tasks (kind ``"F"``), ``=`` cells all other
+    task kinds, ``.`` is idle time.
+    """
+    if not start_times:
+        return "(empty schedule)"
+    makespan = max(
+        float(s) + float(compute_time(t)) for t, s in start_times.items()
+    )
+    if makespan <= 0:
+        return "(zero-length schedule)"
+    rows = [[_IDLE_CHAR] * width for _ in range(n_procs)]
+
+    def col(time: float) -> int:
+        return min(width - 1, int(time / makespan * width))
+
+    import math
+
+    for task, start in sorted(start_times.items(), key=lambda kv: kv[1]):
+        p = int(owner_of(task))
+        c0 = col(float(start))
+        end = float(start) + float(compute_time(task))
+        c1 = max(c0, min(width - 1, math.ceil(end / makespan * width) - 1))
+        kind = getattr(task, "kind", "?")
+        ch = _FACTOR_CHAR if kind == "F" else _UPDATE_CHAR
+        for c in range(c0, c1 + 1):
+            rows[p][c] = ch
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  time 0 {'-' * (width - 16)} {makespan:.4f}s")
+    for p in range(n_procs):
+        busy = sum(1 for c in rows[p] if c != _IDLE_CHAR) / width
+        lines.append(f"P{p:<2d} |" + "".join(rows[p]) + f"| {100 * busy:3.0f}%")
+    lines.append(f"     {_FACTOR_CHAR} factor   {_UPDATE_CHAR} update   {_IDLE_CHAR} idle")
+    return "\n".join(lines)

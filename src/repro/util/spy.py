@@ -1,0 +1,111 @@
+"""ASCII spy plots and forest rendering.
+
+Terminal counterparts of `matplotlib.spy` and a tree printer, used by the
+walkthrough example and `repro analyze --spy` to make the §3 structures —
+fill, block upper triangular form, supernode boundaries, eforest shape —
+visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+
+def spy(
+    a: CSCMatrix,
+    *,
+    max_size: int = 60,
+    blocks: list[tuple[int, int]] | None = None,
+) -> str:
+    """Render the pattern of ``a``; large matrices are binned.
+
+    Each character cell covers a ``bin x bin`` region: ``.`` empty, ``x``
+    sparse (≤ half the cells stored), ``#`` dense. With ``blocks`` (the BTF
+    ranges), ``+`` marks diagonal-block boundaries on the frame.
+    """
+    n_rows, n_cols = a.shape
+    if n_rows == 0 or n_cols == 0:
+        return "(empty matrix)"
+    bin_size = max(1, int(np.ceil(max(n_rows, n_cols) / max_size)))
+    gr = (n_rows + bin_size - 1) // bin_size
+    gc = (n_cols + bin_size - 1) // bin_size
+    counts = np.zeros((gr, gc), dtype=np.int64)
+    for j in range(n_cols):
+        rows = a.col_rows(j)
+        if rows.size:
+            np.add.at(counts, (rows // bin_size, j // bin_size), 1)
+
+    full = bin_size * bin_size
+    out_rows = []
+    boundary_cols = set()
+    if blocks:
+        for start, _ in blocks:
+            boundary_cols.add(start // bin_size)
+    header = "    " + "".join(
+        "+" if c in boundary_cols else "-" for c in range(gc)
+    )
+    out_rows.append(header)
+    for r in range(gr):
+        cells = []
+        for c in range(gc):
+            k = counts[r, c]
+            if k == 0:
+                cells.append(".")
+            elif k <= full / 2:
+                cells.append("x")
+            else:
+                cells.append("#")
+        out_rows.append(f"{r * bin_size:>3d} " + "".join(cells))
+    out_rows.append(
+        f"    ({n_rows}x{n_cols}, nnz={a.nnz}, {bin_size}x{bin_size} cells)"
+    )
+    return "\n".join(out_rows)
+
+
+def render_forest(parent: np.ndarray, *, max_nodes: int = 64) -> str:
+    """Print a parent-array forest as an indented tree.
+
+    Children are listed under their parent with box-drawing guides; forests
+    larger than ``max_nodes`` are summarized per tree instead.
+    """
+    parent = np.asarray(parent)
+    n = parent.size
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots = []
+    for v in range(n):
+        p = int(parent[v])
+        if p < 0:
+            roots.append(v)
+        else:
+            children[p].append(v)
+
+    if n > max_nodes:
+        sizes = np.ones(n, dtype=np.int64)
+        for v in range(n):  # children have smaller labels after postorder;
+            p = int(parent[v])  # generic forests still sum correctly bottom-up
+            if p > v:
+                sizes[p] += sizes[v]
+        lines = [f"(forest with {n} nodes, {len(roots)} trees; summary)"]
+        for r in roots:
+            lines.append(f"  tree rooted at {r}: ~{int(sizes[r])} nodes")
+        return "\n".join(lines)
+
+    lines: list[str] = []
+
+    def walk(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(f"{v}")
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + str(v))
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        kids = sorted(children[v], reverse=True)  # big subtrees first
+        for i, c in enumerate(kids):
+            walk(c, child_prefix, i == len(kids) - 1, False)
+
+    for r in sorted(roots):
+        walk(r, "", True, True)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""ASCII table rendering for the benchmark/evaluation harness.
+
+The paper reports its results as tables (Tables 1-3) and series (Figures 5-6);
+:func:`format_table` renders the regenerated rows in the same layout so the
+harness output can be compared to the paper side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _fmt_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.
+        Floats are formatted with ``floatfmt``; everything else via ``str``.
+    title:
+        Optional caption printed above the table.
+    floatfmt:
+        ``format()`` spec applied to float cells.
+    """
+    str_rows = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        str_rows.append([_fmt_cell(c, floatfmt) for c in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

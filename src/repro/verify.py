@@ -1,0 +1,156 @@
+"""Installation self-check: one function that exercises every subsystem.
+
+``python -m repro selfcheck`` (or ``repro.verify.selfcheck()``) runs a
+condensed end-to-end verification — the handful of invariants that, when
+green, mean the install is healthy: George-Ng containment, Theorem 1-3
+checks, PA = LU under three executors, solve accuracy against the scalar
+reference, and a deterministic simulation. Runs in a few seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one named check."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class SelfCheckReport:
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def add(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checks.append(CheckResult(name=name, ok=bool(ok), detail=detail))
+
+    def render(self) -> str:
+        lines = []
+        for c in self.checks:
+            mark = "ok " if c.ok else "FAIL"
+            lines.append(f"[{mark}] {c.name}" + (f" ({c.detail})" if c.detail else ""))
+        lines.append(
+            f"{sum(c.ok for c in self.checks)}/{len(self.checks)} checks passed"
+        )
+        return "\n".join(lines)
+
+
+def selfcheck(*, n: int = 40, seed: int = 7) -> SelfCheckReport:
+    """Run the condensed verification; returns a report (never raises)."""
+    report = SelfCheckReport()
+    try:
+        _run_checks(report, n, seed)
+    except Exception as exc:  # a crash is itself a failed check
+        report.add("no unexpected exceptions", False, f"{type(exc).__name__}: {exc}")
+    return report
+
+
+def _run_checks(report: SelfCheckReport, n: int, seed: int) -> None:
+    from repro.numeric.factor import LUFactorization
+    from repro.numeric.refine import backward_error
+    from repro.numeric.scalar_lu import scalar_lu
+    from repro.numeric.solver import SparseLUSolver
+    from repro.ordering.etree import is_forest_permutation_topological
+    from repro.parallel.machine import MachineModel
+    from repro.parallel.mapping import cyclic_mapping
+    from repro.parallel.message_passing import message_passing_factorize
+    from repro.parallel.simulate import simulate_schedule
+    from repro.parallel.threads import threaded_factorize
+    from repro.sparse.coo import COOBuilder
+    from repro.sparse.pattern import pattern_contains, pattern_equal
+    from repro.sparse.ops import permute
+    from repro.symbolic.characterization import verify_theorem1, verify_theorem2
+    from repro.symbolic.eforest import extended_eforest
+    from repro.symbolic.static_fill import (
+        simulate_elimination_fill,
+        static_symbolic_factorization,
+    )
+
+    rng = np.random.default_rng(seed)
+    builder = COOBuilder(n, n)
+    n_off = int(0.12 * n * n)
+    builder.extend(
+        rng.integers(0, n, n_off), rng.integers(0, n, n_off), rng.standard_normal(n_off)
+    )
+    ids = np.arange(n)
+    builder.extend(ids, ids, 0.01 + 0.01 * rng.random(n))  # weak diagonal
+    a = builder.to_csc()
+
+    solver = SparseLUSolver(a).analyze()
+    fill = solver.fill
+    report.add("pipeline analyzes", fill is not None, f"fill {fill.fill_ratio:.1f}x")
+
+    exact = simulate_elimination_fill(
+        solver.a_work, lambda k, cand: cand[rng.integers(len(cand))]
+    )
+    report.add(
+        "George-Ng containment (random pivots)",
+        pattern_contains(fill.pattern, exact),
+    )
+
+    forest = extended_eforest(fill)
+    report.add("Theorem 1", verify_theorem1(fill, forest))
+    report.add("Theorem 2", verify_theorem2(fill, forest))
+
+    from repro.symbolic.postorder import postorder_pipeline
+
+    po = postorder_pipeline(fill)
+    a2 = permute(solver.a_work, row_perm=po.perm, col_perm=po.perm)
+    report.add(
+        "Theorem 3 (postorder invariance)",
+        pattern_equal(static_symbolic_factorization(a2).pattern, po.fill.pattern),
+    )
+    report.add(
+        "postorder is topological",
+        is_forest_permutation_topological(po.parent_before, po.perm),
+    )
+
+    ref = LUFactorization(solver.a_work, solver.bp)
+    ref.factor_sequential()
+    ref_l = ref.extract().l_factor.to_dense()
+
+    thr = LUFactorization(solver.a_work, solver.bp)
+    threaded_factorize(thr, solver.graph, n_threads=4)
+    report.add(
+        "threaded == sequential", np.allclose(thr.extract().l_factor.to_dense(), ref_l)
+    )
+
+    mp = message_passing_factorize(
+        solver.a_work, solver.bp, solver.graph, cyclic_mapping(solver.bp.n_blocks, 3)
+    )
+    report.add(
+        "message-passing == sequential",
+        np.allclose(mp.result.l_factor.to_dense(), ref_l),
+        f"{mp.n_messages} messages",
+    )
+
+    solver.factorize()
+    b = np.ones(n)
+    x = solver.solve(b)
+    be = backward_error(a, x, b)
+    report.add("solve backward error", be < 1e-10, f"{be:.1e}")
+
+    x_ref = scalar_lu(a).solve(b)
+    report.add(
+        "supernodal == scalar reference", np.allclose(x, x_ref, rtol=1e-6, atol=1e-8)
+    )
+
+    m = MachineModel(n_procs=4)
+    owner = cyclic_mapping(solver.bp.n_blocks, 4)
+    r1 = simulate_schedule(solver.graph, solver.bp, m, owner)
+    r2 = simulate_schedule(solver.graph, solver.bp, m, owner)
+    report.add(
+        "simulation deterministic",
+        r1.makespan == r2.makespan,
+        f"makespan {r1.makespan:.4f}s",
+    )

@@ -1,0 +1,36 @@
+"""Stability-experiment driver tests."""
+
+from repro.eval.config import BenchConfig
+from repro.eval.stability import format_stability, growth_factor, stability_rows
+
+
+class TestGrowthFactor:
+    def test_identity_like(self):
+        import numpy as np
+
+        from repro.sparse.convert import csc_from_dense
+
+        a = csc_from_dense(np.eye(3) * 2.0)
+        assert growth_factor(a, a) == 1.0
+
+    def test_rows_run_small(self):
+        cfg = BenchConfig(scale=0.12)
+        rows = stability_rows(cfg, thresholds=(1.0, 0.1))
+        assert len(rows) == 4
+        for r in rows:
+            assert r.backward_err < 1e-8
+            assert r.nnz_factors > 0
+
+    def test_format(self):
+        cfg = BenchConfig(scale=0.1)
+        out = format_stability(stability_rows(cfg, thresholds=(1.0,)))
+        assert "growth" in out
+
+
+class TestRegistry:
+    def test_stability_registered(self):
+        from repro.eval.registry import EXPERIMENTS, run_experiment
+
+        assert "stability" in EXPERIMENTS
+        out = run_experiment("stability", BenchConfig(scale=0.1))
+        assert "Threshold pivoting" in out

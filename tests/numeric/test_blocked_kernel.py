@@ -1,0 +1,57 @@
+"""Blocked panel-LU kernel tests."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.factor import LUFactorization
+from repro.numeric.kernels import lu_panel_blocked, lu_panel_inplace
+from repro.numeric.solver import SparseLUSolver
+from repro.util.errors import ShapeError, SingularMatrixError
+
+
+class TestBlockedPanelLU:
+    @pytest.mark.parametrize("rows,w,nb", [(8, 8, 4), (20, 12, 5), (64, 48, 16), (7, 3, 8)])
+    def test_reconstructs_panel(self, rows, w, nb):
+        rng = np.random.default_rng(rows + w)
+        m = rng.standard_normal((rows, w))
+        orig = m.copy()
+        order = lu_panel_blocked(m, w, nb=nb)
+        l_full = np.eye(rows, w) + np.tril(m[:, :w], -1)
+        u = np.triu(m[:w, :w])
+        assert np.allclose(l_full @ u, orig[order, :])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_pivots_as_unblocked(self, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.standard_normal((30, 16))
+        m1, m2 = base.copy(), base.copy()
+        o1 = lu_panel_inplace(m1, 16)
+        o2 = lu_panel_blocked(m2, 16, nb=5)
+        assert np.array_equal(o1, o2)
+        assert np.allclose(m1, m2)
+
+    def test_zero_column_raises(self):
+        m = np.zeros((4, 2))
+        m[:, 1] = 1.0
+        with pytest.raises(SingularMatrixError):
+            lu_panel_blocked(m, 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            lu_panel_blocked(np.ones((2, 3)), 3)
+        with pytest.raises(ValueError):
+            lu_panel_blocked(np.ones((4, 2)), 2, nb=0)
+
+    def test_engine_with_blocked_kernel(self):
+        a = random_pivot_matrix(35, 3)
+        solver = SparseLUSolver(a).analyze()
+        ref = LUFactorization(solver.a_work, solver.bp)
+        ref.factor_sequential()
+        eng = LUFactorization(
+            solver.a_work, solver.bp, panel_kernel=lu_panel_blocked
+        )
+        eng.factor_sequential()
+        assert np.allclose(
+            eng.extract().l_factor.to_dense(), ref.extract().l_factor.to_dense()
+        )

@@ -1,0 +1,58 @@
+"""Cost-model tests."""
+
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.costs import CostModel, task_comm_bytes, task_flops
+from repro.numeric.kernels import lu_panel_flops, update_flops
+from repro.numeric.solver import SparseLUSolver
+from repro.taskgraph.tasks import enumerate_tasks, factor_task
+
+
+def analyzed(seed=0, n=30):
+    return SparseLUSolver(random_pivot_matrix(n, seed)).analyze()
+
+
+class TestFlops:
+    def test_all_tasks_priced(self):
+        s = analyzed()
+        costs = task_flops(s.bp)
+        assert set(costs) == set(enumerate_tasks(s.bp))
+        assert all(c >= 0 for c in costs.values())
+
+    def test_factor_cost_matches_formula(self):
+        s = analyzed(1)
+        model = CostModel(s.bp)
+        import numpy as np
+
+        for k in range(min(5, s.bp.n_blocks)):
+            blocks = s.bp.col_blocks(k)
+            widths = np.diff(s.partition.starts)
+            rows = int(np.sum(widths[blocks[blocks >= k]]))
+            w = int(widths[k])
+            assert model.flops(factor_task(k)) == lu_panel_flops(rows, w)
+
+    def test_update_cost_positive(self):
+        s = analyzed(2)
+        model = CostModel(s.bp)
+        for t in enumerate_tasks(s.bp):
+            if t.kind == "U":
+                assert model.flops(t) > 0
+                break
+
+
+class TestCommBytes:
+    def test_factor_tasks_free(self):
+        s = analyzed(3)
+        assert task_comm_bytes(s.bp, factor_task(0)) == 0
+
+    def test_update_tasks_cost_panel_size(self):
+        s = analyzed(4)
+        model = CostModel(s.bp)
+        for t in enumerate_tasks(s.bp):
+            if t.kind == "U":
+                b = model.comm_bytes(t)
+                rows = int(model.panel_rows[t.k])
+                w = int(model.widths[t.k])
+                assert b == rows * w * 8 + 2 * rows * 4
+                break

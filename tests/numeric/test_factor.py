@@ -1,0 +1,154 @@
+"""Factorization engine tests: PA = LU, pivot bookkeeping, error paths."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.factor import LUFactorization
+from repro.numeric.solver import SolverOptions, SparseLUSolver
+from repro.taskgraph.tasks import factor_task, update_task
+from repro.util.errors import SchedulingError
+
+
+def factorize(n=30, seed=0, **opts):
+    solver = SparseLUSolver(random_pivot_matrix(n, seed), SolverOptions(**opts)).analyze()
+    eng = LUFactorization(solver.a_work, solver.bp)
+    eng.factor_sequential()
+    return solver, eng
+
+
+class TestPALU:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pa_equals_lu(self, seed):
+        solver, eng = factorize(seed=seed)
+        res = eng.extract()
+        aw = solver.a_work.to_dense()
+        pa = aw[res.orig_at, :]
+        lu = res.l_factor.to_dense() @ res.u_factor.to_dense()
+        scale = max(1.0, np.abs(aw).max())
+        assert np.max(np.abs(pa - lu)) / scale < 1e-12
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(postorder=False),
+            dict(amalgamation=False),
+            dict(postorder=False, amalgamation=False),
+            dict(ordering="rcm"),
+            dict(ordering="natural"),
+        ],
+    )
+    def test_pa_equals_lu_across_options(self, kwargs):
+        solver, eng = factorize(seed=3, **kwargs)
+        res = eng.extract()
+        aw = solver.a_work.to_dense()
+        pa = aw[res.orig_at, :]
+        lu = res.l_factor.to_dense() @ res.u_factor.to_dense()
+        assert np.max(np.abs(pa - lu)) / max(1.0, np.abs(aw).max()) < 1e-12
+
+    def test_l_unit_lower_u_upper(self):
+        _, eng = factorize(seed=1)
+        res = eng.extract()
+        l = res.l_factor.to_dense()
+        u = res.u_factor.to_dense()
+        assert np.allclose(np.diag(l), 1.0)
+        assert np.allclose(np.triu(l, 1), 0.0)
+        assert np.allclose(np.tril(u, -1), 0.0)
+
+    def test_orig_at_is_permutation(self):
+        _, eng = factorize(seed=2)
+        res = eng.extract()
+        assert sorted(res.orig_at.tolist()) == list(range(30))
+
+    def test_pivoting_actually_happened(self):
+        # Weak diagonals guarantee at least one row ended up displaced.
+        _, eng = factorize(seed=4)
+        res = eng.extract()
+        assert not np.array_equal(res.orig_at, np.arange(30))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_slot_factors_within_static_fill(self, seed):
+        """The George-Ng guarantee, numerically realized: with scalar
+        (width-1) blocks, every nonzero multiplier sits at a slot whose Ā
+        row covers its column, and U stays inside Ā — the per-step slot
+        labels are exactly the candidate-row labels the theorem speaks
+        about. (Wider panels re-swap already-computed multiplier rows, as
+        dense getrf does, so slot containment is a width-1 statement.)
+        """
+        from repro.symbolic.supernodes import SupernodePartition, block_pattern
+
+        solver = SparseLUSolver(
+            random_pivot_matrix(30, seed), SolverOptions(postorder=False)
+        ).analyze()
+        part = SupernodePartition(starts=np.arange(solver.fill.n + 1))
+        bp = block_pattern(solver.fill, part)
+        eng = LUFactorization(solver.a_work, bp)
+        eng.factor_sequential()
+        fill = solver.fill.pattern.to_dense() != 0
+        tol = 1e-12
+        for k in range(bp.n_blocks):
+            col = eng.data.sub_panel(k)[:, 0]
+            rows = eng.sub_rows[k][np.abs(col) > tol]
+            assert np.all(fill[rows, k]), f"column {k}"
+        res = eng.extract(drop_tol=tol)
+        u = res.u_factor.to_dense() != 0
+        assert not np.any(u & ~fill)
+
+
+class TestSolve:
+    def test_factor_result_solve(self):
+        solver, eng = factorize(seed=6)
+        res = eng.extract()
+        aw = solver.a_work.to_dense()
+        b = np.arange(1.0, 31.0)
+        x = res.solve(b)
+        assert np.allclose(aw @ x, b, atol=1e-8 * np.abs(aw).max())
+
+
+class TestErrorPaths:
+    def test_double_execution_rejected(self):
+        solver = SparseLUSolver(random_pivot_matrix(20, 7)).analyze()
+        eng = LUFactorization(solver.a_work, solver.bp)
+        eng.factor_sequential()
+        with pytest.raises(SchedulingError):
+            eng.run_task(factor_task(0))
+
+    def test_extract_before_completion_rejected(self):
+        solver = SparseLUSolver(random_pivot_matrix(20, 8)).analyze()
+        eng = LUFactorization(solver.a_work, solver.bp)
+        eng.run_task(factor_task(0))
+        with pytest.raises(SchedulingError):
+            eng.extract()
+
+    def test_check_dependencies_catches_early_factor(self):
+        solver = SparseLUSolver(random_pivot_matrix(25, 9)).analyze()
+        eng = LUFactorization(solver.a_work, solver.bp, check_dependencies=True)
+        # Find a block column with at least one incoming update.
+        target = None
+        for k in range(solver.bp.n_blocks):
+            if any(int(i) < k for i in solver.bp.col_blocks(k)):
+                target = k
+                break
+        if target is not None:
+            with pytest.raises(SchedulingError):
+                eng.run_task(factor_task(target))
+
+    def test_check_dependencies_catches_update_before_factor(self):
+        solver = SparseLUSolver(random_pivot_matrix(25, 10)).analyze()
+        eng = LUFactorization(solver.a_work, solver.bp, check_dependencies=True)
+        for t in solver.graph.tasks():
+            if t.kind == "U":
+                with pytest.raises(SchedulingError):
+                    eng.run_task(t)
+                break
+
+    def test_update_unstored_block_rejected(self):
+        solver = SparseLUSolver(random_pivot_matrix(25, 11)).analyze()
+        eng = LUFactorization(solver.a_work, solver.bp)
+        eng.run_task(factor_task(0))
+        # Find a j with no block (0, j).
+        for j in range(1, solver.bp.n_blocks):
+            if not solver.bp.has_block(0, j):
+                with pytest.raises(SchedulingError):
+                    eng.run_task(update_task(0, j))
+                break

@@ -1,0 +1,103 @@
+"""Dense kernel tests against NumPy/SciPy oracles."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.numeric.kernels import (
+    lu_panel_flops,
+    lu_panel_inplace,
+    solve_unit_lower,
+    solve_upper,
+    update_flops,
+)
+from repro.util.errors import ShapeError, SingularMatrixError
+
+
+class TestPanelLU:
+    @pytest.mark.parametrize("rows,w", [(4, 4), (8, 4), (12, 3), (5, 1)])
+    def test_reconstructs_panel(self, rows, w):
+        rng = np.random.default_rng(rows * 10 + w)
+        m = rng.standard_normal((rows, w))
+        orig = m.copy()
+        order = lu_panel_inplace(m, w)
+        l = np.tril(m[:, :w], -1)[:, :w]
+        l_full = np.eye(rows, w) + l
+        u = np.triu(m[:w, :w])
+        assert np.allclose(l_full @ u, orig[order, :])
+
+    def test_pivot_selects_max_magnitude(self):
+        m = np.array([[1.0, 0.0], [-9.0, 1.0], [3.0, 2.0]])
+        order = lu_panel_inplace(m, 2)
+        assert order[0] == 1  # row with |-9| chosen first
+
+    def test_zero_column_raises(self):
+        m = np.zeros((3, 2))
+        m[:, 1] = 1.0
+        with pytest.raises(SingularMatrixError):
+            lu_panel_inplace(m, 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            lu_panel_inplace(np.ones((2, 3)), 3)  # rows < w
+        with pytest.raises(ShapeError):
+            lu_panel_inplace(np.ones((4, 2)), 3)  # width mismatch
+
+    def test_matches_scipy_lu(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((6, 6))
+        m = a.copy()
+        order = lu_panel_inplace(m, 6)
+        _, l_ref, u_ref = scipy.linalg.lu(a)
+        # Same pivoted factorization up to the permutation convention.
+        l = np.tril(m, -1) + np.eye(6)
+        u = np.triu(m)
+        assert np.allclose(l @ u, a[order, :])
+        assert np.allclose(np.abs(np.diag(u)), np.abs(np.diag(u_ref)))
+
+
+class TestTriangularKernels:
+    def test_unit_lower_solve(self):
+        rng = np.random.default_rng(1)
+        l = np.tril(rng.standard_normal((5, 5)), -1) + np.eye(5)
+        b = rng.standard_normal((5, 3))
+        x = solve_unit_lower(l, b)
+        assert np.allclose(l @ x, b)
+
+    def test_unit_lower_ignores_diagonal_values(self):
+        l = np.array([[7.0, 0.0], [2.0, 9.0]])  # diagonal garbage
+        b = np.array([[1.0], [4.0]])
+        x = solve_unit_lower(l, b)
+        assert np.allclose(x, [[1.0], [2.0]])
+
+    def test_upper_solve(self):
+        rng = np.random.default_rng(2)
+        u = np.triu(rng.standard_normal((5, 5))) + 3 * np.eye(5)
+        b = rng.standard_normal((5, 2))
+        x = solve_upper(u, b)
+        assert np.allclose(u @ x, b)
+
+    def test_upper_singular_raises(self):
+        u = np.triu(np.ones((3, 3)))
+        u[1, 1] = 0.0
+        with pytest.raises(SingularMatrixError):
+            solve_upper(u, np.ones((3, 1)))
+
+
+class TestFlopCounts:
+    def test_panel_flops_square(self):
+        # Dense n x n LU ~ 2/3 n^3.
+        n = 30
+        flops = lu_panel_flops(n, n)
+        assert abs(flops - 2 * n**3 / 3) / (2 * n**3 / 3) < 0.15
+
+    def test_panel_flops_monotone(self):
+        assert lu_panel_flops(20, 5) > lu_panel_flops(10, 5)
+        assert lu_panel_flops(20, 5) > lu_panel_flops(20, 3)
+
+    def test_update_flops(self):
+        assert update_flops(2, 3, 4) == 2 * 2 * 4 + 2 * 3 * 2 * 4
+        assert update_flops(1, 0, 1) == 1
+
+    def test_zero_width(self):
+        assert lu_panel_flops(5, 0) == 0

@@ -1,0 +1,115 @@
+"""High-level SparseLUSolver tests, including the SciPy oracle."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.solver import SolverOptions, SparseLUSolver
+from repro.sparse.convert import csc_from_dense, csc_to_scipy
+from repro.sparse.generators import paper_matrix, random_sparse
+from repro.util.errors import ReproError, ShapeError
+
+
+class TestOptions:
+    def test_defaults(self):
+        o = SolverOptions()
+        assert o.ordering == "mindeg"
+        assert o.postorder and o.amalgamation
+        assert o.task_graph == "eforest"
+
+    def test_invalid_ordering(self):
+        with pytest.raises(ValueError):
+            SolverOptions(ordering="amd")
+
+    def test_invalid_task_graph(self):
+        with pytest.raises(ValueError):
+            SolverOptions(task_graph="magic")
+
+
+class TestLifecycle:
+    def test_solve_before_analyze_raises(self):
+        s = SparseLUSolver(random_pivot_matrix(10, 0))
+        with pytest.raises(ReproError):
+            s.factorize()
+        with pytest.raises(ReproError):
+            s.solve(np.ones(10))
+        with pytest.raises(ReproError):
+            s.stats()
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            SparseLUSolver(csc_from_dense(np.ones((2, 3))))
+
+    def test_rejects_pattern_only(self):
+        with pytest.raises(ShapeError):
+            SparseLUSolver(random_sparse(5, density=0.5, seed=0).pattern_only())
+
+    def test_rhs_shape_checked(self):
+        s = SparseLUSolver(random_pivot_matrix(10, 1)).analyze().factorize()
+        with pytest.raises(ShapeError):
+            s.solve(np.ones(11))
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_residual_small(self, seed):
+        a = random_pivot_matrix(40, seed)
+        s = SparseLUSolver(a).analyze().factorize()
+        b = np.arange(1.0, 41.0)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-9
+
+    @pytest.mark.parametrize("task_graph", ["eforest", "sstar"])
+    @pytest.mark.parametrize("postorder", [True, False])
+    def test_residual_across_options(self, task_graph, postorder):
+        a = random_pivot_matrix(30, 5)
+        s = SparseLUSolver(
+            a, SolverOptions(task_graph=task_graph, postorder=postorder)
+        ).analyze().factorize()
+        b = np.ones(30)
+        assert s.residual_norm(s.solve(b), b) < 1e-9
+
+    def test_matches_scipy_spsolve(self):
+        import scipy.sparse.linalg as spla
+
+        a = paper_matrix("orsreg1", scale=0.15)
+        s = SparseLUSolver(a).analyze().factorize()
+        b = np.sin(np.arange(a.n_cols))
+        x = s.solve(b)
+        x_ref = spla.spsolve(csc_to_scipy(a), b)
+        assert np.max(np.abs(x - x_ref)) / max(1.0, np.max(np.abs(x_ref))) < 1e-8
+
+    @pytest.mark.parametrize("name", ["sherman3", "lnsp3937", "goodwin"])
+    def test_paper_analogs_solve(self, name):
+        a = paper_matrix(name, scale=0.1)
+        s = SparseLUSolver(a).analyze().factorize()
+        b = np.ones(a.n_cols)
+        assert s.residual_norm(s.solve(b), b) < 1e-8
+
+
+class TestStats:
+    def test_stats_fields(self):
+        a = random_pivot_matrix(30, 6)
+        s = SparseLUSolver(a).analyze()
+        st = s.stats()
+        assert st.n == 30
+        assert st.nnz == a.nnz
+        assert st.nnz_filled >= st.nnz
+        assert st.fill_ratio >= 1.0
+        assert 1 <= st.n_supernodes <= st.n_supernodes_raw
+        assert st.n_btf_blocks >= 1
+        assert st.n_tasks >= s.bp.n_blocks
+        assert st.mean_supernode_size >= 1.0
+
+    def test_no_postorder_has_zero_btf(self):
+        a = random_pivot_matrix(20, 7)
+        s = SparseLUSolver(a, SolverOptions(postorder=False)).analyze()
+        assert s.stats().n_btf_blocks == 0
+
+    def test_factorize_with_explicit_order(self):
+        a = random_pivot_matrix(25, 8)
+        s = SparseLUSolver(a).analyze()
+        order = s.graph.topological_order()
+        s.factorize(order=order)
+        b = np.ones(25)
+        assert s.residual_norm(s.solve(b), b) < 1e-9

@@ -1,0 +1,70 @@
+"""CSC triangular solve tests against SciPy."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.numeric.triangular import lower_unit_solve_csc, upper_solve_csc
+from repro.sparse.convert import csc_from_dense
+from repro.util.errors import ShapeError, SingularMatrixError
+
+
+def random_unit_lower(n, seed):
+    rng = np.random.default_rng(seed)
+    l = np.tril(rng.standard_normal((n, n)) * (rng.random((n, n)) > 0.5), -1)
+    return l + np.eye(n)
+
+
+def random_upper(n, seed):
+    rng = np.random.default_rng(seed)
+    u = np.triu(rng.standard_normal((n, n)) * (rng.random((n, n)) > 0.5), 1)
+    return u + np.diag(1.0 + rng.random(n))
+
+
+class TestLowerSolve:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy(self, seed):
+        l = random_unit_lower(20, seed)
+        b = np.random.default_rng(seed).standard_normal(20)
+        y = lower_unit_solve_csc(csc_from_dense(l), b)
+        ref = scipy.linalg.solve_triangular(l, b, lower=True, unit_diagonal=True)
+        assert np.allclose(y, ref)
+
+    def test_sparse_rhs_short_circuits(self):
+        l = random_unit_lower(10, 1)
+        b = np.zeros(10)
+        b[7] = 2.0
+        y = lower_unit_solve_csc(csc_from_dense(l), b)
+        assert np.allclose(l @ y, b)
+        assert np.allclose(y[:7], 0.0)
+
+    def test_shape_mismatch(self):
+        l = csc_from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            lower_unit_solve_csc(l, np.ones(4))
+
+
+class TestUpperSolve:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy(self, seed):
+        u = random_upper(20, seed)
+        b = np.random.default_rng(100 + seed).standard_normal(20)
+        x = upper_solve_csc(csc_from_dense(u), b)
+        ref = scipy.linalg.solve_triangular(u, b, lower=False)
+        assert np.allclose(x, ref)
+
+    def test_missing_diagonal_raises(self):
+        u = np.triu(np.ones((3, 3)))
+        u[1, 1] = 0.0
+        with pytest.raises(SingularMatrixError):
+            upper_solve_csc(csc_from_dense(u), np.ones(3))
+
+    def test_shape_mismatch(self):
+        u = csc_from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            upper_solve_csc(u, np.ones(2))
+
+    def test_identity(self):
+        u = csc_from_dense(np.eye(6))
+        b = np.arange(6.0)
+        assert np.allclose(upper_solve_csc(u, b), b)

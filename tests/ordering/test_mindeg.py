@@ -1,0 +1,72 @@
+"""Minimum-degree ordering tests."""
+
+import numpy as np
+
+from repro.ordering.mindeg import minimum_degree, minimum_degree_ata
+from repro.sparse.convert import csc_from_dense
+from repro.sparse.generators import random_sparse, reservoir_matrix
+from repro.symbolic.static_fill import static_symbolic_factorization
+from repro.sparse.ops import permute
+
+
+def is_permutation(p, n):
+    return sorted(np.asarray(p).tolist()) == list(range(n))
+
+
+class TestMinimumDegree:
+    def test_returns_permutation(self):
+        a = random_sparse(30, density=0.15, seed=0)
+        from repro.sparse.pattern import ata_pattern
+
+        p = minimum_degree(ata_pattern(a))
+        assert is_permutation(p, 30)
+
+    def test_path_graph_order(self):
+        # On a path graph every vertex has degree <= 2; endpoints first.
+        n = 7
+        dense = np.eye(n)
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = 1.0
+        p = minimum_degree(csc_from_dense(dense))
+        assert is_permutation(p, n)
+        # The first vertex eliminated must be an endpoint (degree 1).
+        first = int(np.argsort(p)[0])
+        assert first in (0, n - 1)
+
+    def test_star_graph_center_near_last(self):
+        # Star: center has degree n-1, leaves degree 1; the center cannot be
+        # eliminated before the last two steps (it ties with the final leaf).
+        n = 8
+        dense = np.eye(n)
+        dense[0, 1:] = dense[1:, 0] = 1.0
+        p = minimum_degree(csc_from_dense(dense))
+        assert p[0] >= n - 2
+
+    def test_reduces_fill_on_grid(self):
+        a = reservoir_matrix(5, 5, 3, seed=1)
+        natural = static_symbolic_factorization(a).nnz
+        q = minimum_degree_ata(a)
+        ordered = static_symbolic_factorization(
+            permute(a, row_perm=q, col_perm=q)
+        ).nnz
+        assert ordered < natural
+
+    def test_deterministic(self):
+        a = random_sparse(25, density=0.2, seed=2)
+        assert np.array_equal(minimum_degree_ata(a), minimum_degree_ata(a))
+
+    def test_dense_matrix(self):
+        p = minimum_degree(csc_from_dense(np.ones((5, 5))))
+        assert is_permutation(p, 5)
+
+    def test_diagonal_matrix_any_order(self):
+        p = minimum_degree(csc_from_dense(np.eye(6)))
+        assert is_permutation(p, 6)
+
+    def test_rejects_rectangular(self):
+        import pytest
+
+        from repro.util.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            minimum_degree(csc_from_dense(np.ones((2, 3))))

@@ -1,0 +1,47 @@
+"""Reverse Cuthill-McKee tests."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.rcm import reverse_cuthill_mckee
+from repro.sparse.convert import csc_from_dense
+from repro.sparse.generators import random_sparse, reservoir_matrix
+from repro.sparse.ops import permute
+from repro.util.errors import ShapeError
+
+
+def bandwidth(a) -> int:
+    d = a.to_dense() != 0
+    rows, cols = np.nonzero(d)
+    return int(np.max(np.abs(rows - cols))) if rows.size else 0
+
+
+class TestRCM:
+    def test_returns_permutation(self):
+        a = random_sparse(30, density=0.1, seed=0)
+        p = reverse_cuthill_mckee(a)
+        assert sorted(p.tolist()) == list(range(30))
+
+    def test_reduces_bandwidth_on_shuffled_grid(self):
+        a = reservoir_matrix(6, 6, 2, seed=1)
+        rng = np.random.default_rng(1)
+        shuffle = rng.permutation(a.n_cols)
+        shuffled = permute(a, row_perm=shuffle, col_perm=shuffle)
+        p = reverse_cuthill_mckee(shuffled)
+        ordered = permute(shuffled, row_perm=p, col_perm=p)
+        assert bandwidth(ordered) < bandwidth(shuffled)
+
+    def test_disconnected_components(self):
+        dense = np.eye(6)
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[4, 5] = dense[5, 4] = 1.0
+        p = reverse_cuthill_mckee(csc_from_dense(dense))
+        assert sorted(p.tolist()) == list(range(6))
+
+    def test_deterministic(self):
+        a = random_sparse(20, density=0.15, seed=2)
+        assert np.array_equal(reverse_cuthill_mckee(a), reverse_cuthill_mckee(a))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            reverse_cuthill_mckee(csc_from_dense(np.ones((2, 3))))

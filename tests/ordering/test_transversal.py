@@ -1,0 +1,98 @@
+"""Maximum transversal / zero-free diagonal tests."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import csc_from_dense
+from repro.sparse.generators import random_sparse
+from repro.sparse.ops import permute
+from repro.sparse.pattern import has_zero_free_diagonal
+from repro.ordering.transversal import (
+    maximum_transversal,
+    zero_free_diagonal_permutation,
+)
+from repro.util.errors import ShapeError, StructurallySingularError
+
+
+class TestMaximumTransversal:
+    def test_identity_when_diagonal_present(self):
+        a = csc_from_dense(np.diag([1.0, 2.0, 3.0]))
+        m = maximum_transversal(a)
+        assert m.tolist() == [0, 1, 2]
+
+    def test_permutation_matrix(self):
+        # A is a cyclic permutation: column j has its only entry at row j+1.
+        dense = np.zeros((4, 4))
+        for j in range(4):
+            dense[(j + 1) % 4, j] = 1.0
+        m = maximum_transversal(csc_from_dense(dense))
+        assert sorted(m.tolist()) == [0, 1, 2, 3]
+        for j in range(4):
+            assert m[j] == (j + 1) % 4
+
+    def test_requires_augmenting_paths(self):
+        # Cheap assignment grabs row 0 for column 0; column 1 then must
+        # augment through column 0's alternative.
+        dense = np.array([[1.0, 1.0], [1.0, 0.0]])
+        m = maximum_transversal(csc_from_dense(dense))
+        assert sorted(m.tolist()) == [0, 1]
+        assert m[1] == 0  # column 1's only row
+
+    def test_structurally_singular_reports_minus_one(self):
+        dense = np.array([[1.0, 1.0], [0.0, 0.0]])  # row 1 empty
+        m = maximum_transversal(csc_from_dense(dense))
+        assert (m == -1).sum() == 1
+
+    def test_matching_is_injective(self):
+        for seed in range(10):
+            a = random_sparse(30, density=0.15, zero_free_diagonal=False, seed=seed)
+            m = maximum_transversal(a)
+            matched = m[m >= 0]
+            assert len(set(matched.tolist())) == matched.size
+
+    def test_matches_scipy_matching_size(self):
+        import scipy.sparse as sp
+        import scipy.sparse.csgraph as csgraph
+
+        from repro.sparse.convert import csc_to_scipy
+
+        for seed in range(8):
+            a = random_sparse(25, density=0.08, zero_free_diagonal=False, seed=seed)
+            m = maximum_transversal(a)
+            ref = csgraph.maximum_bipartite_matching(
+                sp.csr_matrix(csc_to_scipy(a)), perm_type="row"
+            )
+            assert (m >= 0).sum() == (ref >= 0).sum()
+
+
+class TestZeroFreeDiagonal:
+    def test_permuted_matrix_has_diagonal(self):
+        for seed in range(8):
+            a = random_sparse(40, density=0.12, zero_free_diagonal=False, seed=seed)
+            # Ensure structural nonsingularity by overlaying a permutation.
+            rng = np.random.default_rng(seed)
+            p = rng.permutation(40)
+            from repro.sparse.coo import COOBuilder
+
+            b = COOBuilder(40, 40)
+            b.extend(p, np.arange(40), np.ones(40))
+            cols = np.repeat(np.arange(40), np.diff(a.indptr))
+            b.extend(a.indices.astype(np.int64), cols, a.data)
+            a = b.to_csc()
+            perm = zero_free_diagonal_permutation(a)
+            assert has_zero_free_diagonal(permute(a, row_perm=perm))
+
+    def test_structurally_singular_raises(self):
+        dense = np.array([[1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(StructurallySingularError):
+            zero_free_diagonal_permutation(csc_from_dense(dense))
+
+    def test_rectangular_raises(self):
+        a = csc_from_dense(np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            zero_free_diagonal_permutation(a)
+
+    def test_already_zero_free_is_identityish(self):
+        a = random_sparse(20, density=0.1, seed=3)
+        perm = zero_free_diagonal_permutation(a)
+        assert has_zero_free_diagonal(permute(a, row_perm=perm))

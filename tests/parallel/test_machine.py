@@ -1,0 +1,51 @@
+"""Machine-model tests."""
+
+import pytest
+
+from repro.parallel.machine import MachineModel, ORIGIN2000
+
+
+class TestMachineModel:
+    def test_defaults(self):
+        m = MachineModel(n_procs=4)
+        assert m.n_procs == 4
+        assert m.flop_rate > 0
+
+    def test_compute_time(self):
+        m = MachineModel(n_procs=1, flop_rate=1e6, task_overhead=1e-3)
+        assert m.compute_time(1e6) == pytest.approx(1.0 + 1e-3)
+
+    def test_blas_ramp(self):
+        m = MachineModel(n_procs=1, flop_rate=1e8, blas_half_width=4.0)
+        assert m.effective_rate(4) == pytest.approx(5e7)  # half rate
+        assert m.effective_rate(None) == 1e8
+        assert m.effective_rate(1000) > 0.99e8
+        # Wider blocks are never slower per flop.
+        assert m.compute_time(1e6, 32) < m.compute_time(1e6, 2)
+
+    def test_ramp_disabled(self):
+        m = MachineModel(n_procs=1, blas_half_width=0.0)
+        assert m.effective_rate(1) == m.flop_rate
+
+    def test_transfer_time(self):
+        m = MachineModel(n_procs=2, alpha=1e-4, beta=1e-8)
+        assert m.transfer_time(1e6) == pytest.approx(1e-4 + 1e-2)
+
+    def test_with_procs(self):
+        m = ORIGIN2000.with_procs(2)
+        assert m.n_procs == 2
+        assert m.flop_rate == ORIGIN2000.flop_rate
+
+    def test_invalid_procs(self):
+        with pytest.raises(ValueError):
+            MachineModel(n_procs=0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            MachineModel(n_procs=1, flop_rate=0.0)
+        with pytest.raises(ValueError):
+            MachineModel(n_procs=1, alpha=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ORIGIN2000.n_procs = 99

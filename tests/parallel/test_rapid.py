@@ -1,0 +1,56 @@
+"""RAPID-style inspector/executor tests."""
+
+import numpy as np
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.factor import LUFactorization
+from repro.numeric.solver import SparseLUSolver
+from repro.parallel.machine import MachineModel
+from repro.parallel.rapid import rapid_schedule
+
+
+def analyzed(seed=0):
+    return SparseLUSolver(random_pivot_matrix(30, seed)).analyze()
+
+
+class TestStaticSchedule:
+    def test_covers_all_tasks(self):
+        s = analyzed()
+        sched = rapid_schedule(s.graph, s.bp, MachineModel(n_procs=4))
+        assert sum(len(q) for q in sched.proc_order) == s.graph.n_tasks
+        assert sched.n_procs == 4
+
+    def test_global_order_is_topological(self):
+        s = analyzed(1)
+        sched = rapid_schedule(s.graph, s.bp, MachineModel(n_procs=4))
+        order = sched.global_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for t in s.graph.tasks():
+            for succ in s.graph.successors(t):
+                assert pos[t] < pos[succ]
+
+    def test_replay_matches_sequential(self):
+        s = analyzed(2)
+        sched = rapid_schedule(s.graph, s.bp, MachineModel(n_procs=4))
+        ref = LUFactorization(s.a_work, s.bp)
+        ref.factor_sequential()
+        eng = LUFactorization(s.a_work, s.bp)
+        eng.run_order(sched.global_order())
+        assert np.allclose(
+            eng.extract().l_factor.to_dense(), ref.extract().l_factor.to_dense()
+        )
+
+    def test_owner_respected(self):
+        s = analyzed(3)
+        sched = rapid_schedule(s.graph, s.bp, MachineModel(n_procs=3))
+        for p, tasks in enumerate(sched.proc_order):
+            for t in tasks:
+                assert sched.owner[t.target] == p
+
+    def test_mapping_policies(self):
+        s = analyzed(4)
+        for policy in ("cyclic", "blocked", "greedy"):
+            sched = rapid_schedule(
+                s.graph, s.bp, MachineModel(n_procs=2), mapping_policy=policy
+            )
+            assert sum(len(q) for q in sched.proc_order) == s.graph.n_tasks

@@ -1,0 +1,127 @@
+"""Discrete-event simulator tests."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.costs import CostModel
+from repro.numeric.solver import SparseLUSolver
+from repro.parallel.machine import MachineModel
+from repro.parallel.mapping import cyclic_mapping
+from repro.parallel.simulate import simulate_schedule
+from repro.taskgraph.tasks import enumerate_tasks
+from repro.util.errors import SchedulingError
+
+
+def analyzed(seed=0, n=35):
+    return SparseLUSolver(random_pivot_matrix(n, seed)).analyze()
+
+
+class TestInvariants:
+    def test_p1_makespan_is_total_compute(self):
+        s = analyzed()
+        m = MachineModel(n_procs=1)
+        res = simulate_schedule(s.graph, s.bp, m, cyclic_mapping(s.bp.n_blocks, 1))
+        model = CostModel(s.bp)
+        total = sum(m.compute_time(model.flops(t), model.width(t)) for t in enumerate_tasks(s.bp))
+        assert res.makespan == pytest.approx(total)
+        assert res.n_messages == 0
+
+    def test_busy_conserved(self):
+        s = analyzed(1)
+        for p in (1, 2, 4):
+            m = MachineModel(n_procs=p)
+            res = simulate_schedule(s.graph, s.bp, m, cyclic_mapping(s.bp.n_blocks, p))
+            model = CostModel(s.bp)
+            total = sum(m.compute_time(model.flops(t), model.width(t)) for t in enumerate_tasks(s.bp))
+            assert float(res.busy.sum()) == pytest.approx(total)
+
+    def test_makespan_at_least_critical_path(self):
+        s = analyzed(2)
+        m = MachineModel(n_procs=8)
+        model = CostModel(s.bp)
+        cp = s.graph.critical_path(lambda t: m.compute_time(model.flops(t), model.width(t)))
+        res = simulate_schedule(s.graph, s.bp, m, cyclic_mapping(s.bp.n_blocks, 8))
+        assert res.makespan >= cp - 1e-12
+
+    def test_makespan_at_most_serial(self):
+        s = analyzed(3)
+        m1 = MachineModel(n_procs=1)
+        serial = simulate_schedule(s.graph, s.bp, m1, cyclic_mapping(s.bp.n_blocks, 1))
+        for p in (2, 4, 8):
+            mp = MachineModel(n_procs=p)
+            res = simulate_schedule(s.graph, s.bp, mp, cyclic_mapping(s.bp.n_blocks, p))
+            # Communication could in principle exceed serial on tiny inputs,
+            # but with the default machine the parallel run never loses.
+            assert res.makespan <= serial.makespan * 1.05
+            assert res.speedup_over(serial) > 0.9
+
+    def test_deterministic(self):
+        s = analyzed(4)
+        m = MachineModel(n_procs=4)
+        owner = cyclic_mapping(s.bp.n_blocks, 4)
+        r1 = simulate_schedule(s.graph, s.bp, m, owner)
+        r2 = simulate_schedule(s.graph, s.bp, m, owner)
+        assert r1.makespan == r2.makespan
+        assert r1.n_messages == r2.n_messages
+
+    def test_efficiency_bounds(self):
+        s = analyzed(5)
+        m = MachineModel(n_procs=4)
+        res = simulate_schedule(s.graph, s.bp, m, cyclic_mapping(s.bp.n_blocks, 4))
+        assert 0.0 < res.efficiency <= 1.0
+
+
+class TestCommunication:
+    def test_messages_deduplicated_per_destination(self):
+        s = analyzed(6)
+        m = MachineModel(n_procs=2)
+        res = simulate_schedule(s.graph, s.bp, m, cyclic_mapping(s.bp.n_blocks, 2))
+        # At most one message per (source column, destination processor).
+        n_cross = len(
+            {
+                (t.k, t.j % 2)
+                for t in enumerate_tasks(s.bp)
+                if t.kind == "U" and (t.k % 2) != (t.j % 2)
+            }
+        )
+        assert res.n_messages <= n_cross
+
+    def test_zero_comm_on_one_proc(self):
+        s = analyzed(7)
+        m = MachineModel(n_procs=1)
+        res = simulate_schedule(s.graph, s.bp, m, np.zeros(s.bp.n_blocks, dtype=int))
+        assert res.comm_bytes == 0
+
+    def test_slower_network_slower_makespan(self):
+        s = analyzed(8)
+        fast = MachineModel(n_procs=4, beta=1e-9)
+        slow = MachineModel(n_procs=4, beta=1e-5)
+        owner = cyclic_mapping(s.bp.n_blocks, 4)
+        rf = simulate_schedule(s.graph, s.bp, fast, owner)
+        rs = simulate_schedule(s.graph, s.bp, slow, owner)
+        assert rs.makespan >= rf.makespan
+
+
+class TestValidation:
+    def test_bad_mapping_size(self):
+        s = analyzed(9)
+        m = MachineModel(n_procs=2)
+        with pytest.raises(SchedulingError):
+            simulate_schedule(s.graph, s.bp, m, np.zeros(3, dtype=int))
+
+    def test_mapping_out_of_range(self):
+        s = analyzed(10)
+        m = MachineModel(n_procs=2)
+        owner = np.full(s.bp.n_blocks, 5)
+        with pytest.raises(SchedulingError):
+            simulate_schedule(s.graph, s.bp, m, owner)
+
+    def test_trace_recording(self):
+        s = analyzed(11)
+        m = MachineModel(n_procs=2)
+        res = simulate_schedule(
+            s.graph, s.bp, m, cyclic_mapping(s.bp.n_blocks, 2), record_trace=True
+        )
+        assert len(res.start_times) == s.graph.n_tasks
+        assert all(t >= 0 for t in res.start_times.values())

@@ -1,0 +1,77 @@
+"""Threaded DAG executor tests."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.factor import LUFactorization
+from repro.numeric.solver import SolverOptions, SparseLUSolver
+from repro.parallel.threads import threaded_factorize
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.tasks import factor_task
+
+
+def analyzed(seed=0, n=35, **opts):
+    return SparseLUSolver(random_pivot_matrix(n, seed), SolverOptions(**opts)).analyze()
+
+
+class TestThreadedExecution:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 8])
+    def test_matches_sequential(self, n_threads):
+        s = analyzed()
+        ref = LUFactorization(s.a_work, s.bp)
+        ref.factor_sequential()
+        ref_res = ref.extract()
+        eng = LUFactorization(s.a_work, s.bp)
+        threaded_factorize(eng, s.graph, n_threads=n_threads)
+        res = eng.extract()
+        assert np.allclose(res.l_factor.to_dense(), ref_res.l_factor.to_dense())
+        assert np.allclose(res.u_factor.to_dense(), ref_res.u_factor.to_dense())
+        assert np.array_equal(res.orig_at, ref_res.orig_at)
+
+    def test_repeated_runs_stable(self):
+        s = analyzed(1)
+        ref = LUFactorization(s.a_work, s.bp)
+        ref.factor_sequential()
+        ref_l = ref.extract().l_factor.to_dense()
+        for _ in range(3):
+            eng = LUFactorization(s.a_work, s.bp)
+            threaded_factorize(eng, s.graph, n_threads=6)
+            assert np.allclose(eng.extract().l_factor.to_dense(), ref_l)
+
+    def test_sstar_graph_also_works(self):
+        s = analyzed(2, task_graph="sstar")
+        eng = LUFactorization(s.a_work, s.bp)
+        threaded_factorize(eng, s.graph, n_threads=4)
+        res = eng.extract()
+        aw = s.a_work.to_dense()
+        pa = aw[res.orig_at, :]
+        lu = res.l_factor.to_dense() @ res.u_factor.to_dense()
+        assert np.max(np.abs(pa - lu)) / max(1.0, np.abs(aw).max()) < 1e-12
+
+    def test_invalid_thread_count(self):
+        s = analyzed(3)
+        eng = LUFactorization(s.a_work, s.bp)
+        with pytest.raises(ValueError):
+            threaded_factorize(eng, s.graph, n_threads=0)
+
+    def test_error_propagation(self):
+        s = analyzed(4)
+        eng = LUFactorization(s.a_work, s.bp)
+        # A graph naming a nonexistent block column crashes a worker; the
+        # exception must surface in the caller.
+        bad = TaskGraph()
+        bad.add_task(factor_task(s.bp.n_blocks + 5))
+        with pytest.raises(Exception):
+            threaded_factorize(eng, bad, n_threads=2)
+
+    def test_cyclic_graph_rejected(self):
+        from repro.util.errors import SchedulingError
+
+        s = analyzed(5)
+        eng = LUFactorization(s.a_work, s.bp)
+        g = TaskGraph()
+        g.add_edge(factor_task(0), factor_task(1))
+        g.add_edge(factor_task(1), factor_task(0))
+        with pytest.raises(SchedulingError):
+            threaded_factorize(eng, g, n_threads=2)

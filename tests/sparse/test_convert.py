@@ -1,0 +1,86 @@
+"""Conversion round-trips between CSC, CSR, dense, and SciPy."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import (
+    csc_from_dense,
+    csc_from_scipy,
+    csc_to_csr,
+    csc_to_scipy,
+    csr_to_csc,
+)
+from repro.sparse.generators import random_sparse
+from repro.util.errors import ShapeError
+
+
+def dense_cases():
+    rng = np.random.default_rng(3)
+    yield np.zeros((3, 3))
+    yield np.eye(4)
+    yield rng.random((5, 7)) * (rng.random((5, 7)) > 0.6)
+    yield rng.random((7, 5)) * (rng.random((7, 5)) > 0.3)
+
+
+class TestCsrRoundtrip:
+    def test_csc_to_csr_preserves_dense(self):
+        for dense in dense_cases():
+            a = csc_from_dense(dense)
+            r = csc_to_csr(a)
+            assert np.array_equal(r.to_dense(), dense)
+
+    def test_roundtrip_identity(self):
+        a = random_sparse(40, density=0.1, seed=1)
+        b = csr_to_csc(csc_to_csr(a))
+        assert np.array_equal(a.to_dense(), b.to_dense())
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_pattern_only_roundtrip(self):
+        a = random_sparse(20, density=0.2, seed=2).pattern_only()
+        b = csr_to_csc(csc_to_csr(a))
+        assert b.data is None
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_row_access(self):
+        dense = np.array([[1.0, 2.0, 0.0], [0.0, 0.0, 3.0]])
+        r = csc_to_csr(csc_from_dense(dense))
+        assert r.row_cols(0).tolist() == [0, 1]
+        assert r.row_values(1).tolist() == [3.0]
+
+    def test_csr_to_csc_method(self):
+        a = random_sparse(15, density=0.2, seed=9)
+        assert np.array_equal(csc_to_csr(a).to_csc().to_dense(), a.to_dense())
+
+
+class TestDense:
+    def test_from_dense_tolerance(self):
+        dense = np.array([[1e-12, 1.0], [0.5, 1e-15]])
+        a = csc_from_dense(dense, tol=1e-9)
+        assert a.nnz == 2
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            csc_from_dense(np.arange(4.0))
+
+
+class TestScipy:
+    def test_scipy_roundtrip(self):
+        a = random_sparse(30, density=0.15, seed=5)
+        b = csc_from_scipy(csc_to_scipy(a))
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_scipy_from_coo(self):
+        import scipy.sparse as sp
+
+        m = sp.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([0, 1]), np.array([1, 0]))), shape=(2, 2)
+        )
+        a = csc_from_scipy(m)
+        assert a.get(0, 1) == 1.0
+        assert a.get(1, 0) == 2.0
+
+    def test_pattern_to_scipy_uses_ones(self):
+        a = random_sparse(10, density=0.3, seed=6).pattern_only()
+        s = csc_to_scipy(a)
+        assert (s.data == 1.0).all()

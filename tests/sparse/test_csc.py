@@ -1,0 +1,157 @@
+"""Unit tests for the CSC container."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.convert import csc_from_dense
+from repro.util.errors import PatternError, ShapeError
+
+
+def simple_csc():
+    # [[1, 0, 2],
+    #  [0, 3, 0],
+    #  [4, 0, 5]]
+    return CSCMatrix(
+        3,
+        3,
+        indptr=np.array([0, 2, 3, 5]),
+        indices=np.array([0, 2, 1, 0, 2]),
+        data=np.array([1.0, 4.0, 3.0, 2.0, 5.0]),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        a = simple_csc()
+        assert a.shape == (3, 3)
+        assert a.nnz == 5
+        assert a.is_square
+        assert a.has_values
+
+    def test_pattern_only(self):
+        a = simple_csc().pattern_only()
+        assert not a.has_values
+        assert a.nnz == 5
+        with pytest.raises(PatternError):
+            a.col_values(0)
+
+    def test_empty_matrix(self):
+        a = CSCMatrix(0, 0, np.array([0]), np.array([], dtype=np.int32))
+        assert a.nnz == 0
+        assert a.shape == (0, 0)
+
+    def test_rectangular(self):
+        a = CSCMatrix(2, 3, np.array([0, 1, 1, 2]), np.array([0, 1]))
+        assert not a.is_square
+        assert a.shape == (2, 3)
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ShapeError):
+            CSCMatrix(-1, 3, np.array([0, 0, 0, 0]), np.array([], dtype=np.int32))
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(PatternError):
+            CSCMatrix(3, 3, np.array([0, 1]), np.array([0]))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(PatternError):
+            CSCMatrix(3, 3, np.array([1, 1, 1, 1]), np.array([], dtype=np.int32))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(PatternError):
+            CSCMatrix(3, 3, np.array([0, 2, 1, 3]), np.array([0, 1, 0]))
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(PatternError):
+            CSCMatrix(3, 3, np.array([0, 1, 1, 1]), np.array([7]))
+
+    def test_unsorted_column_rejected(self):
+        with pytest.raises(PatternError):
+            CSCMatrix(3, 3, np.array([0, 2, 2, 2]), np.array([2, 0]))
+
+    def test_duplicate_row_rejected(self):
+        with pytest.raises(PatternError):
+            CSCMatrix(3, 3, np.array([0, 2, 2, 2]), np.array([1, 1]))
+
+    def test_data_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            CSCMatrix(3, 3, np.array([0, 1, 1, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_indptr_indices_disagreement(self):
+        with pytest.raises(PatternError):
+            CSCMatrix(3, 3, np.array([0, 1, 1, 4]), np.array([0, 1]))
+
+
+class TestAccess:
+    def test_col_rows_and_values(self):
+        a = simple_csc()
+        assert a.col_rows(0).tolist() == [0, 2]
+        assert a.col_values(0).tolist() == [1.0, 4.0]
+        assert a.col_rows(1).tolist() == [1]
+
+    def test_get(self):
+        a = simple_csc()
+        assert a.get(0, 0) == 1.0
+        assert a.get(2, 2) == 5.0
+        assert a.get(1, 0) == 0.0
+
+    def test_has_entry(self):
+        a = simple_csc()
+        assert a.has_entry(2, 0)
+        assert not a.has_entry(1, 2)
+
+    def test_diagonal(self):
+        a = simple_csc()
+        assert a.diagonal().tolist() == [1.0, 3.0, 5.0]
+
+    def test_diagonal_with_missing_entries(self):
+        a = csc_from_dense(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        assert a.diagonal().tolist() == [0.0, 2.0]
+
+
+class TestDerivation:
+    def test_to_dense_roundtrip(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0]])
+        assert np.array_equal(simple_csc().to_dense(), dense)
+
+    def test_from_dense_roundtrip(self):
+        rng = np.random.default_rng(7)
+        dense = rng.random((5, 4)) * (rng.random((5, 4)) > 0.5)
+        a = csc_from_dense(dense)
+        assert np.array_equal(a.to_dense(), dense)
+
+    def test_transpose(self):
+        a = simple_csc()
+        at = a.transpose()
+        assert np.array_equal(at.to_dense(), a.to_dense().T)
+
+    def test_transpose_pattern_only(self):
+        at = simple_csc().pattern_only().transpose()
+        assert not at.has_values
+        assert at.nnz == 5
+
+    def test_transpose_rectangular(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
+        a = csc_from_dense(dense)
+        assert np.array_equal(a.transpose().to_dense(), dense.T)
+
+    def test_copy_is_independent(self):
+        a = simple_csc()
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_with_values(self):
+        pat = simple_csc().pattern_only()
+        vals = np.arange(5, dtype=float)
+        a = pat.with_values(vals)
+        assert a.has_values
+        assert a.col_values(0).tolist() == [0.0, 1.0]
+
+    def test_to_dense_pattern_uses_ones(self):
+        d = simple_csc().pattern_only().to_dense()
+        assert set(np.unique(d)) <= {0.0, 1.0}
+
+    def test_repr(self):
+        assert "3x3" in repr(simple_csc())

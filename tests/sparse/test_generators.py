@@ -1,0 +1,117 @@
+"""Tests for the synthetic benchmark-matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import (
+    PAPER_MATRICES,
+    finite_element_matrix,
+    fluid_flow_matrix,
+    paper_matrix,
+    random_sparse,
+    reservoir_matrix,
+)
+from repro.sparse.pattern import has_zero_free_diagonal
+
+
+class TestReservoir:
+    def test_shape_and_diagonal(self):
+        a = reservoir_matrix(5, 4, 3, seed=0)
+        assert a.shape == (60, 60)
+        assert has_zero_free_diagonal(a)
+
+    def test_full_stencil_density(self):
+        a = reservoir_matrix(6, 6, 6, keep_offdiag=1.0, seed=1)
+        # 7-point stencil: diag + up to 6 neighbours, boundaries fewer.
+        assert 4.0 < a.nnz / a.n_cols <= 7.0
+
+    def test_thinning_reduces_nnz(self):
+        full = reservoir_matrix(6, 6, 6, keep_offdiag=1.0, seed=2)
+        thin = reservoir_matrix(6, 6, 6, keep_offdiag=0.5, seed=2)
+        assert thin.nnz < full.nnz
+
+    def test_deterministic(self):
+        a = reservoir_matrix(4, 4, 4, seed=7)
+        b = reservoir_matrix(4, 4, 4, seed=7)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_structurally_unsymmetric_when_thinned(self):
+        a = reservoir_matrix(6, 6, 3, keep_offdiag=0.6, seed=3)
+        d = a.to_dense() != 0
+        assert not np.array_equal(d, d.T)
+
+
+class TestFluidFlow:
+    def test_shape(self):
+        a = fluid_flow_matrix(5, 6, seed=0)
+        assert a.shape == (90, 90)
+        assert has_zero_free_diagonal(a)
+
+    def test_unsymmetric_coupling(self):
+        a = fluid_flow_matrix(6, 6, coupling=0.3, seed=1)
+        d = a.to_dense() != 0
+        assert not np.array_equal(d, d.T)
+
+    def test_density_plausible(self):
+        a = fluid_flow_matrix(10, 10, seed=2)
+        assert 3.0 < a.nnz / a.n_cols < 9.0
+
+
+class TestFiniteElement:
+    def test_shape_and_diagonal(self):
+        a = finite_element_matrix(8, 9, seed=0)
+        assert a.shape == (72, 72)
+        assert has_zero_free_diagonal(a)
+
+    def test_denser_than_stencils(self):
+        a = finite_element_matrix(12, 12, patch=4, seed=1)
+        assert a.nnz / a.n_cols >= 12.0
+
+
+class TestRandomSparse:
+    def test_zero_free_diagonal_option(self):
+        a = random_sparse(25, density=0.05, seed=0)
+        assert has_zero_free_diagonal(a)
+        b = random_sparse(25, density=0.05, zero_free_diagonal=False, seed=0)
+        # at 5% density some diagonal entry is almost surely missing
+        assert not has_zero_free_diagonal(b)
+
+    def test_density_scaling(self):
+        lo = random_sparse(50, density=0.02, seed=1)
+        hi = random_sparse(50, density=0.2, seed=1)
+        assert hi.nnz > lo.nnz
+
+
+class TestPaperRegistry:
+    @pytest.mark.parametrize("name", sorted(PAPER_MATRICES))
+    def test_each_analog_builds(self, name):
+        a = paper_matrix(name, scale=0.12)
+        assert a.is_square
+        assert a.nnz > a.n_cols
+        assert has_zero_free_diagonal(a)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_MATRICES))
+    def test_deterministic_per_name(self, name):
+        a = paper_matrix(name, scale=0.1)
+        b = paper_matrix(name, scale=0.1)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_scale_changes_size(self):
+        small = paper_matrix("orsreg1", scale=0.15)
+        big = paper_matrix("orsreg1", scale=0.4)
+        assert big.n_cols > small.n_cols
+
+    def test_full_scale_orders_match_paper(self):
+        # At scale=1.0 each analog is within 20% of the published order.
+        for name, spec in PAPER_MATRICES.items():
+            a = paper_matrix(name, scale=1.0)
+            assert abs(a.n_cols - spec.paper_order) / spec.paper_order < 0.2, name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            paper_matrix("does-not-exist")
+
+    def test_lns_differs_from_lnsp(self):
+        a = paper_matrix("lnsp3937", scale=0.15)
+        b = paper_matrix("lns3937", scale=0.15)
+        assert a.nnz != b.nnz or not np.array_equal(a.to_dense(), b.to_dense())

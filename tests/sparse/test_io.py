@@ -1,0 +1,147 @@
+"""Matrix Market and Rutherford-Boeing I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import random_sparse
+from repro.sparse.io import (
+    read_matrix_market,
+    read_rutherford_boeing,
+    write_matrix_market,
+)
+from repro.util.errors import FormatError
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self):
+        a = random_sparse(20, density=0.15, seed=0)
+        buf = io.StringIO()
+        write_matrix_market(a, buf)
+        buf.seek(0)
+        b = read_matrix_market(buf)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_roundtrip_file(self, tmp_path):
+        a = random_sparse(10, density=0.3, seed=1)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(a, str(path))
+        b = read_matrix_market(str(path))
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_pattern_roundtrip(self):
+        a = random_sparse(10, density=0.3, seed=2).pattern_only()
+        buf = io.StringIO()
+        write_matrix_market(a, buf)
+        buf.seek(0)
+        b = read_matrix_market(buf)
+        assert b.nnz == a.nnz
+        assert (b.data == 1.0).all()
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 2.0\n"
+            "2 1 1.5\n"
+            "3 3 4.0\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a.get(0, 1) == 1.5
+        assert a.get(1, 0) == 1.5
+        assert a.nnz == 4
+
+    def test_skew_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a.get(1, 0) == 3.0
+        assert a.get(0, 1) == -3.0
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "2 2 1\n"
+            "1 2 5.0\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a.get(0, 1) == 5.0
+
+    def test_bad_header(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO("%%NotMatrixMarket x y z w\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+            )
+
+    def test_entry_count_mismatch(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_complex_field_rejected(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+            )
+
+
+RB_RUA = """Sample unsymmetric matrix                                               sample
+             3             1             1             1
+rua                        3             3             4             0
+(13I6)          (16I5)          (3E26.18)
+     1     3     4     5
+    1    3    2    3
+  1.000000000000000000E+00  2.000000000000000000E+00  3.000000000000000000E+00
+  4.000000000000000000E+00
+"""
+
+RB_PSA = """Sample symmetric pattern                                                sample
+             2             1             1             0
+psa                        3             3             4             0
+(13I6)          (16I5)
+     1     3     4     5
+    1    3    2    3
+"""
+
+
+class TestRutherfordBoeing:
+    def test_read_rua(self, tmp_path):
+        path = tmp_path / "m.rua"
+        path.write_text(RB_RUA)
+        a = read_rutherford_boeing(str(path))
+        assert a.shape == (3, 3)
+        assert a.nnz == 4
+        assert a.get(0, 0) == 1.0
+        assert a.get(2, 0) == 2.0
+        assert a.get(1, 1) == 3.0
+        assert a.get(2, 2) == 4.0
+
+    def test_read_psa_expands_symmetry(self, tmp_path):
+        path = tmp_path / "m.psa"
+        path.write_text(RB_PSA)
+        a = read_rutherford_boeing(str(path))
+        # entries (0,0),(2,0),(1,1),(2,2) plus mirrored (0,2)
+        assert a.nnz == 5
+        assert a.has_entry(0, 2)
+        assert (a.data == 1.0).all()
+
+    def test_unsupported_type(self, tmp_path):
+        path = tmp_path / "m.rb"
+        path.write_text(RB_RUA.replace("rua", "cua"))
+        with pytest.raises(FormatError):
+            read_rutherford_boeing(str(path))
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "m.rua"
+        path.write_text("\n".join(RB_RUA.splitlines()[:5]) + "\n")
+        with pytest.raises(FormatError):
+            read_rutherford_boeing(str(path))

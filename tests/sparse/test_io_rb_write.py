@@ -1,0 +1,60 @@
+"""Rutherford-Boeing writer tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import paper_matrix, random_sparse
+from repro.sparse.io import read_rutherford_boeing, write_rutherford_boeing
+
+
+class TestWriteRB:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_roundtrip_values(self, seed):
+        a = random_sparse(30, density=0.12, seed=seed)
+        buf = io.StringIO()
+        write_rutherford_boeing(a, buf)
+        buf.seek(0)
+        b = read_rutherford_boeing(buf)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_roundtrip_pattern(self):
+        a = random_sparse(15, density=0.2, seed=9).pattern_only()
+        buf = io.StringIO()
+        write_rutherford_boeing(a, buf)
+        buf.seek(0)
+        b = read_rutherford_boeing(buf)
+        assert b.nnz == a.nnz
+        assert (b.data == 1.0).all()
+
+    def test_file_roundtrip(self, tmp_path):
+        a = paper_matrix("orsreg1", scale=0.1)
+        path = tmp_path / "m.rua"
+        write_rutherford_boeing(a, str(path), title="orsreg1 analog", key="ors1")
+        b = read_rutherford_boeing(str(path))
+        assert np.allclose(a.to_dense(), b.to_dense())
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("orsreg1 analog")
+        assert first.rstrip().endswith("ors1")
+
+    def test_solvable_after_roundtrip(self, tmp_path):
+        from repro.api import solve
+        from repro.sparse.ops import matvec
+
+        a = paper_matrix("orsreg1", scale=0.1)
+        path = tmp_path / "m.rua"
+        write_rutherford_boeing(a, str(path))
+        b = read_rutherford_boeing(str(path))
+        rhs = np.ones(b.n_cols)
+        x = solve(b, rhs)
+        assert np.max(np.abs(matvec(b, x) - rhs)) < 1e-8
+
+    def test_values_preserved_to_full_precision(self):
+        a = random_sparse(10, density=0.3, seed=3)
+        a.data[:] = np.pi * a.data
+        buf = io.StringIO()
+        write_rutherford_boeing(a, buf)
+        buf.seek(0)
+        b = read_rutherford_boeing(buf)
+        assert np.array_equal(np.sort(np.abs(a.data)), np.sort(np.abs(b.data)))

@@ -1,0 +1,58 @@
+"""Matrix-statistics tests."""
+
+import numpy as np
+
+from repro.sparse.convert import csc_from_dense
+from repro.sparse.generators import paper_matrix, reservoir_matrix
+from repro.sparse.stats import matrix_stats
+
+
+class TestMatrixStats:
+    def test_identity(self):
+        s = matrix_stats(csc_from_dense(np.eye(5)))
+        assert s.n == 5
+        assert s.nnz == 5
+        assert s.bandwidth == 0
+        assert s.profile == 5
+        assert s.structural_symmetry == 1.0
+        assert s.diag_present == 5
+        assert s.mean_row_degree == 1.0
+
+    def test_tridiagonal(self):
+        n = 6
+        dense = np.eye(n)
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = 1.0
+        s = matrix_stats(csc_from_dense(dense))
+        assert s.bandwidth == 1
+        assert s.structural_symmetry == 1.0
+        assert s.max_row_degree == 3
+
+    def test_unsymmetric(self):
+        dense = np.array([[1.0, 1.0], [0.0, 1.0]])
+        s = matrix_stats(csc_from_dense(dense))
+        assert s.structural_symmetry == 0.0
+        assert s.bandwidth == 1
+
+    def test_empty(self):
+        s = matrix_stats(csc_from_dense(np.zeros((0, 0))))
+        assert s.n == 0
+
+    def test_analogs_are_unsymmetric(self):
+        """The generators must reproduce the domain's structural character:
+        thinned reservoir/fluid matrices are structurally unsymmetric."""
+        for name in ("sherman3", "lnsp3937"):
+            s = matrix_stats(paper_matrix(name, scale=0.1))
+            assert s.structural_symmetry < 0.95, name
+            assert s.diag_present == s.n
+
+    def test_full_stencil_nearly_symmetric(self):
+        a = reservoir_matrix(5, 5, 4, keep_offdiag=1.0, seed=0)
+        s = matrix_stats(a)
+        assert s.structural_symmetry > 0.95
+
+    def test_summary_rows(self):
+        s = matrix_stats(csc_from_dense(np.eye(3)))
+        rows = dict(s.summary_rows())
+        assert rows["order"] == 3
+        assert "row degree (min/mean/max)" in rows

@@ -1,0 +1,94 @@
+"""Theorem 1-2 characterization and compact-storage tests (paper §2)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import random_sparse
+from repro.sparse.ops import permute
+from repro.sparse.pattern import pattern_equal
+from repro.ordering.transversal import zero_free_diagonal_permutation
+from repro.symbolic.characterization import (
+    CompactFactorStorage,
+    column_leaves,
+    l_row_structure_from_forest,
+    u_col_structure_from_forest,
+)
+from repro.symbolic.eforest import extended_eforest
+from repro.symbolic.static_fill import static_symbolic_factorization
+
+
+def pipeline(n, seed, density=0.15):
+    a = random_sparse(n, density=density, seed=seed)
+    a = permute(a, row_perm=zero_free_diagonal_permutation(a))
+    fill = static_symbolic_factorization(a)
+    return fill, extended_eforest(fill)
+
+
+class TestBranchProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_l_rows_are_exact_branches(self, seed):
+        """The structure of every L̄ row equals the eforest branch from its
+        first nonzero up to the diagonal — the [7] characterization."""
+        fill, forest = pipeline(25, seed)
+        l_pat = fill.l_pattern()
+        actual_rows = [set() for _ in range(25)]
+        for j in range(25):
+            for i in l_pat.col_rows(j):
+                actual_rows[int(i)].add(j)
+        for i in range(25):
+            predicted = set(l_row_structure_from_forest(forest, i).tolist())
+            assert predicted == actual_rows[i], f"row {i}"
+
+
+class TestColumnSubtrees:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_u_columns_reconstruct_from_leaves(self, seed):
+        fill, forest = pipeline(25, seed)
+        u_pat = fill.u_pattern()
+        for j in range(25):
+            members = u_pat.col_rows(j)
+            leaves = column_leaves(forest, members)
+            rebuilt = u_col_structure_from_forest(forest, leaves, j)
+            assert rebuilt.tolist() == members.tolist(), f"column {j}"
+
+    def test_leaves_are_minimal(self):
+        fill, forest = pipeline(25, 3)
+        u_pat = fill.u_pattern()
+        for j in range(25):
+            members = set(int(i) for i in u_pat.col_rows(j))
+            leaves = set(column_leaves(forest, u_pat.col_rows(j)).tolist())
+            for leaf in leaves:
+                assert not any(
+                    c in members for c in forest.children[leaf]
+                ), f"leaf {leaf} of column {j} has a member child"
+
+
+class TestCompactStorage:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip(self, seed):
+        fill, forest = pipeline(30, seed)
+        storage = CompactFactorStorage.encode(fill, forest)
+        assert pattern_equal(storage.decode_pattern(), fill.pattern)
+
+    def test_compression_wins_on_filled_matrices(self):
+        fill, forest = pipeline(40, 11, density=0.1)
+        storage = CompactFactorStorage.encode(fill, forest)
+        # The aside in §2: the compact scheme stores far fewer integers
+        # than the raw pattern once there is meaningful fill.
+        assert storage.storage_ints < fill.nnz
+
+    def test_decode_l_row_matches_predictor(self):
+        fill, forest = pipeline(20, 12)
+        storage = CompactFactorStorage.encode(fill, forest)
+        for i in range(20):
+            assert np.array_equal(
+                storage.decode_l_row(i), l_row_structure_from_forest(forest, i)
+            )
+
+    def test_decode_u_col_sorted_and_diagonal(self):
+        fill, forest = pipeline(20, 13)
+        storage = CompactFactorStorage.encode(fill, forest)
+        for j in range(20):
+            col = storage.decode_u_col(j)
+            assert (np.diff(col) > 0).all()
+            assert j in col.tolist()

@@ -1,0 +1,121 @@
+"""TaskGraph container and algorithm tests."""
+
+import pytest
+
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.tasks import factor_task, update_task
+from repro.util.errors import SchedulingError
+
+
+def chain_graph():
+    g = TaskGraph()
+    f0, f1 = factor_task(0), factor_task(1)
+    u01 = update_task(0, 1)
+    g.add_edge(f0, u01)
+    g.add_edge(u01, f1)
+    return g, (f0, u01, f1)
+
+
+class TestConstruction:
+    def test_add_task_idempotent(self):
+        g = TaskGraph()
+        g.add_task(factor_task(0))
+        g.add_task(factor_task(0))
+        assert g.n_tasks == 1
+
+    def test_add_edge_idempotent(self):
+        g, (f0, u01, _) = chain_graph()
+        before = g.n_edges
+        g.add_edge(f0, u01)
+        assert g.n_edges == before
+
+    def test_self_edge_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(SchedulingError):
+            g.add_edge(factor_task(0), factor_task(0))
+
+    def test_counts(self):
+        g, _ = chain_graph()
+        assert g.n_tasks == 3
+        assert g.n_edges == 2
+
+
+class TestQueries:
+    def test_successors_predecessors(self):
+        g, (f0, u01, f1) = chain_graph()
+        assert g.successors(f0) == [u01]
+        assert g.predecessors(f1) == [u01]
+        assert g.in_degree(u01) == 1
+
+    def test_has_edge_and_path(self):
+        g, (f0, u01, f1) = chain_graph()
+        assert g.has_edge(f0, u01)
+        assert not g.has_edge(f0, f1)
+        assert g.has_path(f0, f1)
+        assert not g.has_path(f1, f0)
+
+
+class TestAlgorithms:
+    def test_topological_order(self):
+        g, (f0, u01, f1) = chain_graph()
+        order = g.topological_order()
+        assert order.index(f0) < order.index(u01) < order.index(f1)
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        a, b = factor_task(0), factor_task(1)
+        g.add_edge(a, b)
+        g.add_edge(b, a)
+        with pytest.raises(SchedulingError):
+            g.validate()
+
+    def test_levels(self):
+        g, (f0, u01, f1) = chain_graph()
+        levels = g.levels()
+        assert levels[f0] == 0
+        assert levels[u01] == 1
+        assert levels[f1] == 2
+
+    def test_critical_path_unit_costs(self):
+        g, tasks = chain_graph()
+        assert g.critical_path(lambda t: 1.0) == 3.0
+
+    def test_critical_path_weighted(self):
+        g = TaskGraph()
+        f0, f1, f2 = factor_task(0), factor_task(1), factor_task(2)
+        g.add_edge(f0, f2)
+        g.add_edge(f1, f2)
+        costs = {f0: 5.0, f1: 1.0, f2: 2.0}
+        assert g.critical_path(costs) == 7.0
+
+    def test_total_work(self):
+        g, _ = chain_graph()
+        assert g.total_work(lambda t: 2.0) == 6.0
+
+    def test_tie_break(self):
+        g = TaskGraph()
+        g.add_task(factor_task(1))
+        g.add_task(factor_task(0))
+        order = g.topological_order()
+        assert order[0] == factor_task(0)
+
+    def test_refinement(self):
+        g, (f0, u01, f1) = chain_graph()
+        g2 = TaskGraph()
+        g2.add_edge(f0, u01)
+        g2.add_edge(u01, f1)
+        g2_minus = TaskGraph()
+        g2_minus.add_edge(f0, f1)  # implied by the chain
+        assert g2_minus.is_refinement_of(g)
+        extra = TaskGraph()
+        extra.add_edge(f1, f0)  # reversed: not implied
+        assert not extra.is_refinement_of(g)
+
+
+class TestExport:
+    def test_to_dot(self):
+        g, (f0, u01, f1) = chain_graph()
+        dot = g.to_dot("test")
+        assert "digraph test" in dot
+        assert '"F(0)" -> "U(0,1)"' in dot
+        assert "box" in dot and "ellipse" in dot

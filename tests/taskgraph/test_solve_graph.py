@@ -1,0 +1,91 @@
+"""Solve-phase task graph tests."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.numeric.solver import SparseLUSolver
+from repro.parallel.machine import MachineModel
+from repro.parallel.mapping import cyclic_mapping
+from repro.parallel.simulate import simulate_solve_phase
+from repro.taskgraph.solve_graph import (
+    backward_task,
+    build_solve_graph,
+    forward_task,
+    solve_task_flops,
+)
+
+
+def analyzed(seed=0, n=35):
+    return SparseLUSolver(random_pivot_matrix(n, seed)).analyze()
+
+
+class TestGraphStructure:
+    def test_two_tasks_per_block(self):
+        s = analyzed()
+        g = build_solve_graph(s.bp)
+        assert g.n_tasks == 2 * s.bp.n_blocks
+
+    def test_forward_before_backward(self):
+        s = analyzed(1)
+        g = build_solve_graph(s.bp)
+        for k in range(s.bp.n_blocks):
+            assert g.has_edge(forward_task(k), backward_task(k))
+
+    def test_forward_respects_lower_structure(self):
+        s = analyzed(2)
+        g = build_solve_graph(s.bp)
+        for i in range(s.bp.n_blocks):
+            col = s.bp.col_blocks(i)
+            for k in col[col > i]:
+                assert g.has_edge(forward_task(i), forward_task(int(k)))
+
+    def test_backward_respects_upper_structure(self):
+        s = analyzed(3)
+        g = build_solve_graph(s.bp)
+        for j in range(s.bp.n_blocks):
+            for i in s.bp.col_blocks(j):
+                i = int(i)
+                if i < j:
+                    assert g.has_edge(backward_task(j), backward_task(i))
+
+    def test_acyclic(self):
+        s = analyzed(4)
+        build_solve_graph(s.bp).validate()
+
+    def test_flops_cover_all_tasks(self):
+        s = analyzed(5)
+        g = build_solve_graph(s.bp)
+        flops = solve_task_flops(s.bp)
+        assert set(flops) == set(g.tasks())
+        assert all(f > 0 for f in flops.values())
+
+
+class TestSolveSimulation:
+    def test_p1_is_serial(self):
+        s = analyzed(6)
+        machine = MachineModel(n_procs=1)
+        res = simulate_solve_phase(s.bp, machine, cyclic_mapping(s.bp.n_blocks, 1))
+        flops = solve_task_flops(s.bp)
+        widths = np.diff(s.bp.partition.starts)
+        total = sum(
+            machine.compute_time(f, int(widths[t.k])) for t, f in flops.items()
+        )
+        assert res.makespan == pytest.approx(total)
+
+    def test_parallel_helps(self):
+        from repro.sparse.generators import paper_matrix
+
+        s = SparseLUSolver(paper_matrix("sherman3", scale=0.15)).analyze()
+        r1 = simulate_solve_phase(s.bp, MachineModel(n_procs=1), cyclic_mapping(s.bp.n_blocks, 1))
+        r4 = simulate_solve_phase(s.bp, MachineModel(n_procs=4), cyclic_mapping(s.bp.n_blocks, 4))
+        assert r4.makespan < r1.makespan
+
+    def test_bad_mapping(self):
+        from repro.util.errors import SchedulingError
+
+        s = analyzed(7)
+        with pytest.raises(SchedulingError):
+            simulate_solve_phase(
+                s.bp, MachineModel(n_procs=2), np.zeros(3, dtype=int)
+            )

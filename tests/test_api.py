@@ -1,0 +1,61 @@
+"""Convenience-API tests (repro.api)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.api import LUHandle, lu, solve
+
+
+class TestConvenienceAPI:
+    def test_solve_one_call(self):
+        a = random_pivot_matrix(25, 0)
+        b = np.ones(25)
+        x = solve(a, b)
+        from repro.sparse.ops import matvec
+
+        assert np.max(np.abs(matvec(a, x) - b)) < 1e-8
+
+    def test_lu_handle_reuse(self):
+        a = random_pivot_matrix(25, 1)
+        handle = lu(a)
+        assert isinstance(handle, LUHandle)
+        for seed in range(3):
+            b = np.random.default_rng(seed).standard_normal(25)
+            x = handle.solve(b)
+            from repro.sparse.ops import matvec
+
+            assert np.max(np.abs(matvec(a, x) - b)) < 1e-6
+
+    def test_options_forwarded(self):
+        a = random_pivot_matrix(20, 2)
+        handle = lu(a, ordering="rcm", postorder=False, task_graph="sstar")
+        assert handle.solver.options.ordering == "rcm"
+        assert not handle.solver.options.postorder
+
+    def test_invalid_option_rejected(self):
+        a = random_pivot_matrix(10, 3)
+        with pytest.raises(TypeError):
+            lu(a, nonsense=True)
+        with pytest.raises(ValueError):
+            lu(a, ordering="amd")
+
+    def test_stats_and_condest(self):
+        a = random_pivot_matrix(20, 4)
+        handle = lu(a)
+        assert handle.stats.n == 20
+        assert handle.condition_estimate >= 1.0
+
+    def test_refined_solve(self):
+        a = random_pivot_matrix(20, 5)
+        handle = lu(a)
+        rr = handle.solve_refined(np.ones(20))
+        assert rr.backward_errors[-1] < 1e-10
+
+    def test_doctest_example(self):
+        import doctest
+
+        import repro.api as api
+
+        results = doctest.testmod(api)
+        assert results.failed == 0

@@ -1,0 +1,40 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.util.asciiplot import line_chart
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        out = line_chart([1, 2, 4], {"a": [0.0, 0.1, 0.2], "b": [0.2, 0.1, 0.0]})
+        assert "o a" in out and "x b" in out
+        assert "o" in out and "x" in out
+
+    def test_title(self):
+        out = line_chart([1, 2], {"s": [0.0, 1.0]}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_x_labels_present(self):
+        out = line_chart([1, 2, 8], {"s": [0.0, 0.5, 1.0]})
+        assert "8" in out.splitlines()[-2]
+
+    def test_constant_series(self):
+        out = line_chart([1, 2], {"s": [0.5, 0.5]})
+        assert "o" in out
+
+    def test_single_point(self):
+        out = line_chart([4], {"s": [0.25]})
+        assert "o" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {})
+
+    def test_overlap_marker(self):
+        out = line_chart([1, 2], {"a": [0.0, 1.0], "b": [0.0, 0.5]})
+        assert "?" in out  # both series share the first point

@@ -1,0 +1,116 @@
+"""CLI tests (``python -m repro``)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestMatrices:
+    def test_lists_analogs(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sherman3", "goodwin"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_analog(self, capsys):
+        assert main(["analyze", "orsreg1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "fill ratio" in out
+        assert "supernodes" in out
+
+    def test_spy_and_forest_flags(self, capsys):
+        assert (
+            main(["analyze", "sherman3", "--scale", "0.1", "--spy", "--forest"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Abar (static fill)" in out
+        assert "block LU eforest" in out
+
+    def test_equilibrate_flag(self, capsys):
+        assert (
+            main(["solve", "orsreg1", "--scale", "0.1", "--equilibrate"]) == 0
+        )
+        assert "residual=" in capsys.readouterr().out
+
+    def test_pipeline_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "orsreg1",
+                    "--scale",
+                    "0.1",
+                    "--no-postorder",
+                    "--ordering",
+                    "rcm",
+                    "--task-graph",
+                    "sstar",
+                ]
+            )
+            == 0
+        )
+        assert "BTF diagonal blocks" in capsys.readouterr().out
+
+
+class TestSolve:
+    def test_solve_analog(self, capsys):
+        assert main(["solve", "orsreg1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "residual=" in out
+        residual = float(out.split("residual=")[1].split()[0])
+        assert residual < 1e-8
+
+    def test_solve_with_refine_and_condest(self, capsys):
+        assert (
+            main(["solve", "orsreg1", "--scale", "0.1", "--refine", "--condest"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "refinement:" in out
+        assert "condition estimate" in out
+
+    def test_solve_writes_solution(self, tmp_path, capsys):
+        out_file = tmp_path / "x.txt"
+        assert (
+            main(["solve", "orsreg1", "--scale", "0.1", "-o", str(out_file)]) == 0
+        )
+        x = np.loadtxt(out_file)
+        assert x.ndim == 1 and x.size > 0
+
+    def test_solve_random_rhs(self, capsys):
+        assert main(["solve", "orsreg1", "--scale", "0.1", "--rhs", "random"]) == 0
+
+    def test_solve_from_file(self, tmp_path, capsys):
+        gen_file = tmp_path / "m.mtx"
+        assert (
+            main(["generate", "orsreg1", "--scale", "0.1", "-o", str(gen_file)]) == 0
+        )
+        capsys.readouterr()
+        assert main(["solve", str(gen_file)]) == 0
+        assert "residual=" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_writes_mtx(self, tmp_path, capsys):
+        out_file = tmp_path / "g.mtx"
+        assert (
+            main(["generate", "sherman5", "--scale", "0.1", "-o", str(out_file)]) == 0
+        )
+        text = out_file.read_text()
+        assert text.startswith("%%MatrixMarket")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", "-o", "x.mtx"])
+
+
+class TestBench:
+    def test_bench_table1(self, capsys):
+        assert main(["bench", "table1", "--scale", "0.1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "table9"])

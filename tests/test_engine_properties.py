@@ -1,0 +1,96 @@
+"""Property-based tests of the event engine over random DAGs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.engine import run_event_simulation
+
+
+class _T:
+    """Hashable task stub with a kind attribute."""
+
+    __slots__ = ("idx",)
+    kind = "F"
+
+    def __init__(self, idx: int) -> None:
+        self.idx = idx
+
+    def __str__(self) -> str:
+        return f"t{self.idx}"
+
+    def __repr__(self) -> str:
+        return f"t{self.idx}"
+
+
+@st.composite
+def random_dags(draw):
+    """A random DAG (edges only forward in index order) with costs."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    density = draw(st.floats(min_value=0.0, max_value=0.4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    tasks = [_T(i) for i in range(n)]
+    succ = {t: [] for t in tasks}
+    indeg = {t: 0 for t in tasks}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                succ[tasks[i]].append(tasks[j])
+                indeg[tasks[j]] += 1
+    costs = {t: float(rng.random() + 0.01) for t in tasks}
+    n_procs = int(draw(st.integers(min_value=1, max_value=4)))
+    owner = {t: int(rng.integers(0, n_procs)) for t in tasks}
+    return tasks, succ, indeg, costs, owner, n_procs
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_engine_invariants(dag):
+    tasks, succ, indeg, costs, owner, n_procs = dag
+    res = run_event_simulation(
+        tasks,
+        lambda t: succ[t],
+        indeg,
+        n_procs=n_procs,
+        owner_of=lambda t: owner[t],
+        compute_time=lambda t: costs[t],
+        record_trace=True,
+    )
+    total = sum(costs.values())
+    # Work conservation.
+    np.testing.assert_allclose(float(res.busy.sum()), total)
+    # Makespan bounds: critical path <= makespan <= total work (+eps).
+    # Critical path via longest path.
+    order = [t for t in tasks]
+    level = {}
+    for t in reversed(order):
+        level[t] = costs[t] + max((level[s] for s in succ[t]), default=0.0)
+    cp = max(level.values())
+    assert res.makespan >= cp - 1e-9
+    assert res.makespan <= total + 1e-9
+    # Trace respects dependences and processor exclusivity.
+    start = res.start_times
+    for t in tasks:
+        for s in succ[t]:
+            assert start[s] >= start[t] + costs[t] - 1e-9
+    by_proc: dict[int, list] = {}
+    for t in tasks:
+        by_proc.setdefault(owner[t], []).append(t)
+    for p, ts in by_proc.items():
+        ts.sort(key=lambda t: start[t])
+        for a, b in zip(ts, ts[1:]):
+            assert start[b] >= start[a] + costs[a] - 1e-9
+
+
+@given(random_dags())
+@settings(max_examples=30, deadline=None)
+def test_engine_deterministic(dag):
+    tasks, succ, indeg, costs, owner, n_procs = dag
+    kwargs = dict(
+        n_procs=n_procs,
+        owner_of=lambda t: owner[t],
+        compute_time=lambda t: costs[t],
+    )
+    r1 = run_event_simulation(tasks, lambda t: succ[t], indeg, **kwargs)
+    r2 = run_event_simulation(tasks, lambda t: succ[t], indeg, **kwargs)
+    assert r1.makespan == r2.makespan

@@ -1,0 +1,52 @@
+"""Gantt-chart renderer tests."""
+
+from repro.taskgraph.tasks import factor_task, update_task
+from repro.util.gantt import gantt_chart
+
+
+class TestGanttChart:
+    def test_basic_rendering(self):
+        starts = {factor_task(0): 0.0, update_task(0, 1): 1.0, factor_task(1): 2.0}
+        durations = {factor_task(0): 1.0, update_task(0, 1): 1.0, factor_task(1): 1.0}
+        out = gantt_chart(
+            starts,
+            lambda t: durations[t],
+            lambda t: t.target % 2,
+            2,
+            width=30,
+            title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert any(l.startswith("P0") for l in lines)
+        assert "#" in out and "=" in out
+
+    def test_empty(self):
+        assert "empty" in gantt_chart({}, lambda t: 0, lambda t: 0, 1)
+
+    def test_busy_percent_shown(self):
+        starts = {factor_task(0): 0.0}
+        out = gantt_chart(starts, lambda t: 1.0, lambda t: 0, 1, width=20)
+        assert "100%" in out
+
+    def test_integration_with_simulator(self):
+        from tests.conftest import random_pivot_matrix
+        from repro.numeric.solver import SparseLUSolver
+        from repro.parallel.machine import MachineModel
+        from repro.parallel.mapping import cyclic_mapping
+        from repro.parallel.simulate import simulate_schedule
+        from repro.numeric.costs import CostModel
+
+        s = SparseLUSolver(random_pivot_matrix(25, 0)).analyze()
+        owner = cyclic_mapping(s.bp.n_blocks, 2)
+        m = MachineModel(n_procs=2)
+        res = simulate_schedule(s.graph, s.bp, m, owner, record_trace=True)
+        model = CostModel(s.bp)
+        out = gantt_chart(
+            res.start_times,
+            lambda t: m.compute_time(model.flops(t), model.width(t)),
+            lambda t: owner[t.target],
+            2,
+            width=60,
+        )
+        assert out.count("\n") >= 3

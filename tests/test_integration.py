@@ -1,0 +1,77 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.solver import SolverOptions, SparseLUSolver
+from repro.parallel.machine import MachineModel
+from repro.parallel.rapid import rapid_schedule
+from repro.parallel.threads import threaded_factorize
+from repro.numeric.factor import LUFactorization
+from repro.sparse.generators import PAPER_MATRICES, paper_matrix
+
+SCALE = 0.1
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_MATRICES))
+def test_full_pipeline_on_every_analog(name):
+    a = paper_matrix(name, scale=SCALE)
+    solver = SparseLUSolver(a).analyze().factorize()
+    b = np.cos(np.arange(a.n_cols))
+    x = solver.solve(b)
+    assert solver.residual_norm(x, b) < 1e-8, name
+    st = solver.stats()
+    assert st.fill_ratio >= 1.0
+    assert st.n_supernodes <= st.n_supernodes_raw
+
+
+@pytest.mark.parametrize("name", ["sherman3", "lns3937"])
+def test_both_graphs_same_solution(name):
+    a = paper_matrix(name, scale=SCALE)
+    b = np.ones(a.n_cols)
+    x_new = SparseLUSolver(a, SolverOptions(task_graph="eforest")).analyze().factorize().solve(b)
+    x_old = SparseLUSolver(a, SolverOptions(task_graph="sstar")).analyze().factorize().solve(b)
+    assert np.allclose(x_new, x_old)
+
+
+def test_postorder_does_not_change_solution():
+    a = paper_matrix("orsreg1", scale=SCALE)
+    b = np.arange(1.0, a.n_cols + 1.0)
+    x_po = SparseLUSolver(a, SolverOptions(postorder=True)).analyze().factorize().solve(b)
+    x_no = SparseLUSolver(a, SolverOptions(postorder=False)).analyze().factorize().solve(b)
+    assert np.allclose(x_po, x_no, rtol=1e-8, atol=1e-10)
+
+
+def test_rapid_schedule_threaded_execution_end_to_end():
+    """Inspector -> static schedule -> threaded executor -> solve."""
+    a = paper_matrix("sherman5", scale=SCALE)
+    solver = SparseLUSolver(a).analyze()
+    sched = rapid_schedule(solver.graph, solver.bp, MachineModel(n_procs=4))
+    eng = LUFactorization(solver.a_work, solver.bp)
+    threaded_factorize(eng, solver.graph, n_threads=4)
+    solver.result = eng.extract()
+    b = np.ones(a.n_cols)
+    x = solver.solve(b)
+    assert solver.residual_norm(x, b) < 1e-8
+    assert sched.predicted.makespan > 0
+
+
+def test_multiple_solves_reuse_factorization():
+    a = paper_matrix("saylr4", scale=SCALE)
+    solver = SparseLUSolver(a).analyze().factorize()
+    for seed in range(3):
+        b = np.random.default_rng(seed).standard_normal(a.n_cols)
+        x = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-8
+
+
+def test_file_roundtrip_then_solve(tmp_path):
+    from repro.sparse.io import read_matrix_market, write_matrix_market
+
+    a = paper_matrix("orsreg1", scale=SCALE)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(a, str(path))
+    a2 = read_matrix_market(str(path))
+    solver = SparseLUSolver(a2).analyze().factorize()
+    b = np.ones(a2.n_cols)
+    assert solver.residual_norm(solver.solve(b), b) < 1e-8

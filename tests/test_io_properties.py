@@ -1,0 +1,67 @@
+"""Property-based I/O round-trips (hypothesis)."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.coo import COOBuilder
+from repro.sparse.io import (
+    read_matrix_market,
+    read_rutherford_boeing,
+    write_matrix_market,
+    write_rutherford_boeing,
+)
+
+
+@st.composite
+def arbitrary_matrices(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=20))
+    n_cols = draw(st.integers(min_value=1, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    rng = np.random.default_rng(seed)
+    builder = COOBuilder(n_rows, n_cols)
+    n_ent = int(density * n_rows * n_cols)
+    if n_ent:
+        builder.extend(
+            rng.integers(0, n_rows, n_ent),
+            rng.integers(0, n_cols, n_ent),
+            rng.standard_normal(n_ent) * 10.0 ** rng.integers(-6, 6, n_ent),
+        )
+    return builder.to_csc()
+
+
+@given(arbitrary_matrices())
+@settings(max_examples=40, deadline=None)
+def test_matrix_market_roundtrip(a):
+    buf = io.StringIO()
+    write_matrix_market(a, buf)
+    buf.seek(0)
+    b = read_matrix_market(buf)
+    assert b.shape == a.shape
+    assert np.allclose(a.to_dense(), b.to_dense(), rtol=1e-14, atol=0.0)
+
+
+@given(arbitrary_matrices())
+@settings(max_examples=40, deadline=None)
+def test_rutherford_boeing_roundtrip(a):
+    buf = io.StringIO()
+    write_rutherford_boeing(a, buf)
+    buf.seek(0)
+    b = read_rutherford_boeing(buf)
+    assert b.shape == a.shape
+    assert np.allclose(a.to_dense(), b.to_dense(), rtol=1e-14, atol=0.0)
+
+
+@given(arbitrary_matrices())
+@settings(max_examples=25, deadline=None)
+def test_pattern_roundtrip_preserves_structure(a):
+    pat = a.pattern_only()
+    buf = io.StringIO()
+    write_matrix_market(pat, buf)
+    buf.seek(0)
+    b = read_matrix_market(buf)
+    assert b.nnz == pat.nnz
+    assert np.array_equal(b.indices, pat.indices)
+    assert np.array_equal(b.indptr, pat.indptr)

@@ -1,0 +1,54 @@
+"""Golden-number regression tests.
+
+The whole pipeline is deterministic (seeded generators, deterministic
+algorithms), so the analysis statistics of each benchmark analog are frozen
+here. A change in any number means an algorithm's behaviour changed — which
+must be a conscious decision, not an accident. Regenerate with:
+
+    python -c "from tests.test_regression_numbers import regenerate; regenerate()"
+"""
+
+import pytest
+
+from repro.numeric.solver import SparseLUSolver
+from repro.sparse.generators import paper_matrix
+
+SCALE = 0.15
+
+GOLDEN = {
+    "sherman3": dict(n=798, nnz=2893, fill=27677, sn_raw=541, sn=306, btf=49, tasks=1263, edges=1812),
+    "sherman5": dict(n=540, nnz=2504, fill=35216, sn_raw=278, sn=147, btf=2, tasks=697, edges=1098),
+    "lnsp3937": dict(n=588, nnz=2416, fill=17764, sn_raw=360, sn=241, btf=2, tasks=965, edges=1445),
+    "lns3937": dict(n=588, nnz=2162, fill=13495, sn_raw=382, sn=236, btf=9, tasks=889, edges=1286),
+    "orsreg1": dict(n=363, nnz=1907, fill=20038, sn_raw=169, sn=78, btf=1, tasks=326, edges=496),
+    "saylr4": dict(n=540, nnz=2728, fill=31595, sn_raw=254, sn=130, btf=2, tasks=587, edges=913),
+    "goodwin": dict(n=1104, nnz=24048, fill=135708, sn_raw=197, sn=137, btf=93, tasks=325, edges=376),
+}
+
+
+def current_stats(name: str) -> dict:
+    a = paper_matrix(name, scale=SCALE)
+    st = SparseLUSolver(a).analyze().stats()
+    return dict(
+        n=st.n,
+        nnz=st.nnz,
+        fill=st.nnz_filled,
+        sn_raw=st.n_supernodes_raw,
+        sn=st.n_supernodes,
+        btf=st.n_btf_blocks,
+        tasks=st.n_tasks,
+        edges=st.n_edges,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_analysis_numbers_frozen(name):
+    assert current_stats(name) == GOLDEN[name], (
+        f"{name}: pipeline behaviour changed — if intentional, regenerate "
+        "the GOLDEN table (see module docstring)"
+    )
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    for name in sorted(GOLDEN):
+        print(f'    "{name}": {current_stats(name)},')
