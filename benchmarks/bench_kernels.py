@@ -3,6 +3,9 @@
 These are classic pytest-benchmark timings (multiple rounds) of the pieces
 the pipeline spends its time in: the George-Ng symbolic factorization, the
 minimum-degree ordering, the panel LU, and the full numeric factorization.
+A final (untimed) pass instruments the factorization with a metrics
+registry and emits the kernel call/FLOP counters and block-width
+histograms as a ``repro.bench`` JSON artifact.
 """
 
 import numpy as np
@@ -10,6 +13,8 @@ import numpy as np
 from repro.numeric.factor import LUFactorization
 from repro.numeric.kernels import lu_panel_inplace
 from repro.numeric.solver import SparseLUSolver
+from repro.obs.metrics import MetricsRegistry
+from repro.util.tables import format_table
 from repro.ordering.mindeg import minimum_degree_ata
 from repro.ordering.transversal import zero_free_diagonal_permutation
 from repro.sparse.generators import paper_matrix
@@ -65,6 +70,38 @@ def test_bench_numeric_factorization(benchmark):
 
     eng = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(eng.sub_rows) == solver.bp.n_blocks
+
+
+def test_kernel_histograms(emit):
+    """Kernel-mix profile of one factorization (counts, FLOPs, widths)."""
+    solver = SparseLUSolver(paper_matrix("orsreg1", scale=0.2)).analyze()
+    metrics = MetricsRegistry()
+    eng = LUFactorization(solver.a_work, solver.bp, metrics=metrics)
+    eng.factor_sequential()
+    data = metrics.as_dict()
+    rows = [
+        (c["name"], c["value"], c["unit"])
+        for c in data["counters"]
+        if c["name"].startswith("kernel.")
+    ]
+    hist_rows = [
+        (
+            h["name"],
+            h["count"],
+            round(h["total"] / h["count"], 2) if h["count"] else 0.0,
+            h["min"],
+            h["max"],
+        )
+        for h in data["histograms"]
+    ]
+    text = format_table(["counter", "value", "unit"], rows, title="kernel mix")
+    text += "\n\n" + format_table(
+        ["histogram", "n", "mean", "min", "max"],
+        hist_rows,
+        title="block shape distributions",
+    )
+    emit("bench_kernel_histograms", text, data=data)
+    assert any(name == "kernel.gemm.flops" for name, _, _ in rows)
 
 
 def test_bench_full_pipeline(benchmark):

@@ -4,6 +4,11 @@ Every benchmark regenerates one table or figure of the paper and prints it
 (run with ``-s`` to see the tables inline; they are also written to
 ``benchmarks/results/``). ``REPRO_BENCH_SCALE`` controls matrix size
 (default 0.35; 1.0 reproduces the published orders).
+
+Each emitted table is paired with a machine-readable JSON artifact
+(``results/<name>.json``, schema ``repro.bench`` v1 — see
+docs/observability.md) so downstream tooling can diff runs without
+scraping the rendered text.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import pathlib
 import pytest
 
 from repro.eval.config import BenchConfig
+from repro.obs.export import bench_document, write_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -25,11 +31,18 @@ def bench_config() -> BenchConfig:
 
 @pytest.fixture(scope="session")
 def emit():
-    """Print a regenerated table and persist it under benchmarks/results/."""
+    """Print a regenerated table; persist it (txt + JSON) under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _emit(name: str, text: str) -> None:
+    def _emit(name: str, text: str, data: dict | None = None) -> None:
         print("\n" + text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        doc = bench_document(
+            name,
+            text=text,
+            data=data,
+            meta={"scale_env": os.environ.get("REPRO_BENCH_SCALE", "")},
+        )
+        write_json(RESULTS_DIR / f"{name}.json", doc)
 
     return _emit

@@ -78,6 +78,13 @@ from repro.parallel import (
     simulate_2d,
     compare_1d_2d,
 )
+from repro.obs import (
+    Tracer,
+    MetricsRegistry,
+    export_json,
+    validate_document,
+    render_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -123,5 +130,10 @@ __all__ = [
     "DynamicRuntime",
     "simulate_2d",
     "compare_1d_2d",
+    "Tracer",
+    "MetricsRegistry",
+    "export_json",
+    "validate_document",
+    "render_trace",
     "__version__",
 ]

@@ -48,11 +48,27 @@ class LUHandle:
     def stats(self):
         return self.solver.stats()
 
+    @property
+    def trace(self):
+        """The solver's :class:`repro.obs.Tracer`.
 
-def lu(a: CSCMatrix, **options) -> LUHandle:
+        ``trace.export()`` produces the schema-versioned telemetry JSON
+        document; ``repro.obs.render_trace`` renders it. Detail metrics
+        (per-kernel counters, the simulated-schedule ``engine.*`` numbers)
+        are present when the handle was created with ``lu(a, trace=True)``.
+        """
+        return self.solver.tracer
+
+
+def lu(a: CSCMatrix, *, trace: bool = False, **options) -> LUHandle:
     """Analyze and factorize ``a``; keyword args map to
-    :class:`SolverOptions` (``ordering=``, ``postorder=``, ...)."""
-    solver = SparseLUSolver(a, SolverOptions(**options)).analyze().factorize()
+    :class:`SolverOptions` (``ordering=``, ``postorder=``, ...).
+
+    ``trace=True`` turns on detail tracing (see docs/observability.md);
+    the resulting telemetry is available as ``handle.trace``.
+    """
+    solver = SparseLUSolver(a, SolverOptions(**options), trace=trace)
+    solver.analyze().factorize()
     return LUHandle(solver=solver)
 
 

@@ -7,7 +7,10 @@ Commands
 ``analyze``    run the symbolic pipeline only and print the statistics.
 ``bench``      run one registered experiment (``table1`` ... ``fig6``,
                ablations) and print its table.
+``trace``      run the full pipeline with detail tracing and render the
+               span tree + metrics (optionally dump telemetry/Chrome JSON).
 ``matrices``   list the available Table-1 analogs.
+``selfcheck``  condensed end-to-end verification (``--json`` for machines).
 ``generate``   write a synthetic analog to a Matrix Market file.
 """
 
@@ -178,11 +181,51 @@ def cmd_matrices(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_selfcheck(_args: argparse.Namespace) -> int:
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import chrome_trace_events, validate_document, write_json
+    from repro.obs.render import render_trace
+
+    a = _load_matrix(args.matrix, args.scale)
+    solver = SparseLUSolver(a, _solver_options(args), trace=True)
+    solver.analyze().factorize()
+    b = np.ones(a.n_cols)
+    x = solver.solve(b)
+    doc = solver.tracer.export(
+        meta={
+            "matrix": args.matrix,
+            "scale": args.scale,
+            "n": a.n_cols,
+            "nnz": a.nnz,
+            "residual": float(solver.residual_norm(x, b)),
+        }
+    )
+    errors = validate_document(doc)
+    if errors:  # defensive: the exporter should always emit valid documents
+        for e in errors:
+            print(f"telemetry schema error: {e}", file=sys.stderr)
+        return 1
+    if args.json:
+        write_json(args.json, doc)
+        print(f"telemetry written to {args.json}")
+    if args.chrome:
+        write_json(
+            args.chrome, {"traceEvents": chrome_trace_events(solver.tracer)}
+        )
+        print(f"chrome trace written to {args.chrome} (open in about:tracing)")
+    print(render_trace(doc))
+    return 0
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    import json
+
     from repro.verify import selfcheck
 
     report = selfcheck()
-    print(report.render())
+    if getattr(args, "json", False):
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 0 if report.ok else 1
 
 
@@ -223,10 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.35)
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser("trace", help="traced pipeline run + telemetry report")
+    _add_pipeline_flags(p)
+    p.add_argument("--json", metavar="PATH", help="write telemetry JSON document")
+    p.add_argument(
+        "--chrome", metavar="PATH", help="write a Chrome-trace (about:tracing) dump"
+    )
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("matrices", help="list Table-1 analogs")
     p.set_defaults(func=cmd_matrices)
 
     p = sub.add_parser("selfcheck", help="condensed end-to-end verification")
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
     p.set_defaults(func=cmd_selfcheck)
 
     p = sub.add_parser("generate", help="write an analog to a .mtx file")

@@ -21,7 +21,13 @@ from typing import Iterable
 import numpy as np
 
 from repro.numeric.blockdata import BlockColumnData
-from repro.numeric.kernels import lu_panel_inplace, solve_unit_lower
+from repro.numeric.kernels import (
+    gemm_flops,
+    lu_panel_flops,
+    lu_panel_inplace,
+    solve_unit_lower,
+    trsm_flops,
+)
 from repro.numeric.triangular import lower_unit_solve_csc, upper_solve_csc
 from repro.sparse.coo import COOBuilder
 from repro.sparse.csc import CSCMatrix
@@ -160,6 +166,7 @@ class LUFactorization:
         *,
         check_dependencies: bool = False,
         panel_kernel=None,
+        metrics=None,
     ) -> None:
         self.data = BlockColumnData(a, bp)
         self.bp = bp
@@ -174,6 +181,12 @@ class LUFactorization:
         # getrf variant (lu_panel_blocked) pays off on wide amalgamated
         # supernodes.
         self.panel_kernel = panel_kernel or lu_panel_inplace
+        # Optional MetricsRegistry: per-kernel call counts, flop counters,
+        # block-width histograms, and pivot-deferral counters (stable names
+        # in docs/observability.md). ``None`` keeps the hot paths at one
+        # ``is None`` branch per task. Under the threaded executor the
+        # updates race benignly, exactly like ``lazy_stats``.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Task execution
@@ -212,6 +225,21 @@ class LUFactorization:
         if np.any(changed):
             moved = self.orig_at[pivoted[changed]].copy()
             self.orig_at[subs[changed]] = moved
+        if self.metrics is not None:
+            self.metrics.counter("kernel.factor.calls", unit="calls").inc()
+            self.metrics.counter("kernel.factor.flops", unit="flops").inc(
+                lu_panel_flops(panel.shape[0], w)
+            )
+            self.metrics.histogram("kernel.panel.width", unit="cols").observe(w)
+            self.metrics.histogram("kernel.panel.rows", unit="rows").observe(
+                panel.shape[0]
+            )
+            n_moved = int(np.count_nonzero(changed))
+            if n_moved:
+                # Deferred-pivot bookkeeping: rows renamed by F(k) whose
+                # renaming every later U(k, j) must still apply.
+                self.metrics.counter("pivot.rows_deferred", unit="rows").inc(n_moved)
+                self.metrics.counter("pivot.panels_with_swaps", unit="panels").inc()
 
     def _update(self, k: int, j: int) -> None:
         if self.check_dependencies and Task("F", k, k) not in self.done:
@@ -258,6 +286,10 @@ class LUFactorization:
                 vals[old_present] = panel_j[old_pos[old_present]]
             if np.any(new_present):
                 panel_j[new_pos[new_present]] = vals[new_present]
+            if self.metrics is not None:
+                self.metrics.counter("pivot.renames_applied", unit="rows").inc(
+                    int(old_ids.size)
+                )
 
         # 2. TRSM: finalize the U block B̄_{k,j}. LazyS+ optimization (the
         #    paper's §2 note that "some of the zero blocks can be eliminated
@@ -274,9 +306,17 @@ class LUFactorization:
         w_j = panel_j.shape[1]
         if not panel_j[off : off + w, :].any():
             self.lazy_stats.skip_update(w, int(subs.size) - w, w_j)
+            if self.metrics is not None:
+                self.metrics.counter("update.skipped_zero_block", unit="updates").inc()
             return
         u_kj = solve_unit_lower(m[:w, :w], panel_j[off : off + w, :])
         panel_j[off : off + w, :] = u_kj
+        if self.metrics is not None:
+            self.metrics.counter("kernel.trsm.calls", unit="calls").inc()
+            self.metrics.counter("kernel.trsm.flops", unit="flops").inc(
+                trsm_flops(w, w_j)
+            )
+            self.metrics.histogram("kernel.trsm.width", unit="cols").observe(w_j)
 
         # 3. GEMM: push the update into the rows below block k that column
         #    j materializes. Padded rows (all-zero multipliers) are skipped:
@@ -295,6 +335,17 @@ class LUFactorization:
                 bpos, bpresent = self.data.positions(j, below_ids[active])
                 if np.any(bpresent):
                     panel_j[bpos[bpresent], :] -= l_below[active][bpresent] @ u_kj
+                if self.metrics is not None:
+                    self.metrics.counter("kernel.gemm.calls", unit="calls").inc()
+                    self.metrics.counter("kernel.gemm.flops", unit="flops").inc(
+                        gemm_flops(n_active, w, w_j)
+                    )
+                    self.metrics.histogram("kernel.gemm.rows", unit="rows").observe(
+                        n_active
+                    )
+                    self.metrics.histogram("kernel.gemm.width", unit="cols").observe(
+                        w_j
+                    )
 
     def _require_column_updates_done(self, k: int) -> None:
         for i in self.bp.col_blocks(k):

@@ -128,6 +128,21 @@ def lu_panel_flops(rows: int, w: int) -> int:
     return total
 
 
+def trsm_flops(w_src: int, w_dst: int) -> int:
+    """Flop count of the TRSM half of ``Update(k,j)`` (``w_src²·w_dst``)."""
+    return w_src * w_src * w_dst
+
+
+def gemm_flops(rows_below: int, w_src: int, w_dst: int) -> int:
+    """Flop count of the GEMM half of ``Update(k,j)`` (multiply-add pairs)."""
+    return 2 * rows_below * w_src * w_dst
+
+
 def update_flops(w_src: int, rows_below: int, w_dst: int) -> int:
-    """Flop count of ``Update(k,j)``: TRSM (``w_src²·w_dst``) + GEMM."""
-    return w_src * w_src * w_dst + 2 * rows_below * w_src * w_dst
+    """Flop count of ``Update(k,j)``: TRSM (``w_src²·w_dst``) + GEMM.
+
+    Split into :func:`trsm_flops` + :func:`gemm_flops`; the observability
+    layer (``kernel.trsm.flops`` / ``kernel.gemm.flops`` counters) uses the
+    halves so the BLAS-ramp model can be fed per-kernel-class.
+    """
+    return trsm_flops(w_src, w_dst) + gemm_flops(rows_below, w_src, w_dst)

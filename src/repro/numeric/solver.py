@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.numeric.factor import FactorResult, LUFactorization
+from repro.obs.trace import Tracer
 from repro.ordering.mindeg import minimum_degree_ata
 from repro.ordering.rcm import reverse_cuthill_mckee
 from repro.ordering.transversal import zero_free_diagonal_permutation
@@ -103,13 +104,26 @@ class SparseLUSolver:
     benchmarks and the parallel executors.
     """
 
-    def __init__(self, a: CSCMatrix, options: Optional[SolverOptions] = None) -> None:
+    def __init__(
+        self,
+        a: CSCMatrix,
+        options: Optional[SolverOptions] = None,
+        *,
+        trace: bool = False,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if not a.is_square:
             raise ShapeError("solver requires a square matrix")
         if not a.has_values:
             raise ShapeError("solver requires matrix values")
         self.a = a
         self.options = options or SolverOptions()
+        # Observability (docs/observability.md). The tracer always records
+        # the coarse stage spans (they back the legacy ``timings`` view at
+        # ~10 spans per solve); ``trace=True`` additionally turns on
+        # fine-grained detail: per-kernel counters/histograms in the
+        # numeric engine and the machine-model schedule projection.
+        self.tracer = tracer if tracer is not None else Tracer(detail=bool(trace))
         # Populated by analyze():
         self.row_perm: Optional[np.ndarray] = None
         self.col_perm: Optional[np.ndarray] = None
@@ -121,81 +135,100 @@ class SparseLUSolver:
         self.graph: Optional[TaskGraph] = None
         self.n_btf_blocks: int = 0
         self.equil = None  # set by analyze() when options.equilibrate
-        self.timings: dict[str, float] = {}
         # Populated by factorize():
         self.result: Optional[FactorResult] = None
 
+    @property
+    def timings(self) -> dict[str, float]:
+        """Deprecated alias: wall seconds per stage, backed by the tracer.
+
+        Keys are the span names (``transversal``, ``ordering``,
+        ``static_fill``, ``postorder``, ``supernodes``, ``task_graph``,
+        ``factorize``, ...). Prefer ``self.tracer`` — spans carry nesting
+        and attributes this flat view drops. Values accumulate across
+        repeated calls (e.g. several ``refactorize()`` rounds).
+        """
+        return self.tracer.stage_seconds()
+
     # ------------------------------------------------------------------
     def analyze(self) -> "SparseLUSolver":
-        """Steps (1)-(2) plus §3 postordering/supernodes and the §4 graph."""
-        from repro.util.timer import Timer
+        """Steps (1)-(2) plus §3 postordering/supernodes and the §4 graph.
 
+        Every stage runs inside a tracer span nested under ``analyze``
+        (hierarchy documented in docs/observability.md); the spans carry
+        the symbolic statistics as attributes.
+        """
         opts = self.options
         n = self.a.n_cols
+        tr = self.tracer
 
-        source = self.a
-        if opts.equilibrate:
-            from repro.numeric.scaling import equilibrate
+        with tr.span("analyze", n=n, nnz=self.a.nnz) as analyze_span:
+            source = self.a
+            if opts.equilibrate:
+                from repro.numeric.scaling import equilibrate
 
-            with Timer() as t:
-                self.equil = equilibrate(self.a)
-                source = self.equil.apply(self.a)
-            self.timings["equilibrate"] = t.elapsed
+                with tr.span("equilibrate"):
+                    self.equil = equilibrate(self.a)
+                    source = self.equil.apply(self.a)
 
-        with Timer() as t:
-            row_perm = zero_free_diagonal_permutation(source)
-            work = permute(source, row_perm=row_perm)
-        self.timings["transversal"] = t.elapsed
-        col_perm = np.arange(n, dtype=np.int64)
+            with tr.span("transversal"):
+                row_perm = zero_free_diagonal_permutation(source)
+                work = permute(source, row_perm=row_perm)
+            col_perm = np.arange(n, dtype=np.int64)
 
-        with Timer() as t:
-            if opts.ordering == "mindeg":
-                q = minimum_degree_ata(work)
-            elif opts.ordering == "rcm":
-                q = reverse_cuthill_mckee(work)
-            else:
-                q = np.arange(n, dtype=np.int64)
-        self.timings["ordering"] = t.elapsed
-        work = permute(work, row_perm=q, col_perm=q)
-        row_perm = q[row_perm]
-        col_perm = q[col_perm]
+            with tr.span("ordering", method=opts.ordering):
+                if opts.ordering == "mindeg":
+                    q = minimum_degree_ata(work)
+                elif opts.ordering == "rcm":
+                    q = reverse_cuthill_mckee(work)
+                else:
+                    q = np.arange(n, dtype=np.int64)
+            work = permute(work, row_perm=q, col_perm=q)
+            row_perm = q[row_perm]
+            col_perm = q[col_perm]
 
-        with Timer() as t:
-            fill = static_symbolic_factorization(work)
-        self.timings["static_fill"] = t.elapsed
+            with tr.span("static_fill") as s:
+                fill = static_symbolic_factorization(work)
+                s.set(nnz_filled=fill.nnz, fill_ratio=fill.fill_ratio)
 
-        with Timer() as t:
-            if opts.postorder:
-                po = postorder_pipeline(fill)
-                work = permute(work, row_perm=po.perm, col_perm=po.perm)
-                row_perm = po.perm[row_perm]
-                col_perm = po.perm[col_perm]
-                fill = po.fill
-                self.n_btf_blocks = len(po.blocks)
-            else:
-                self.n_btf_blocks = 0
-        self.timings["postorder"] = t.elapsed
+            with tr.span("postorder", enabled=opts.postorder) as s:
+                if opts.postorder:
+                    po = postorder_pipeline(fill)
+                    work = permute(work, row_perm=po.perm, col_perm=po.perm)
+                    row_perm = po.perm[row_perm]
+                    col_perm = po.perm[col_perm]
+                    fill = po.fill
+                    self.n_btf_blocks = len(po.blocks)
+                    s.set(n_btf_blocks=self.n_btf_blocks)
+                else:
+                    self.n_btf_blocks = 0
 
-        with Timer() as t:
-            part_raw = supernode_partition(fill)
-            if opts.amalgamation:
-                part = amalgamate(
-                    fill,
-                    part_raw,
-                    max_padding=opts.max_padding,
-                    max_size=opts.max_supernode,
+            with tr.span("supernodes", amalgamation=opts.amalgamation) as s:
+                part_raw = supernode_partition(fill)
+                if opts.amalgamation:
+                    part = amalgamate(
+                        fill,
+                        part_raw,
+                        max_padding=opts.max_padding,
+                        max_size=opts.max_supernode,
+                    )
+                else:
+                    part = part_raw
+                bp = block_pattern(fill, part)
+                s.set(
+                    n_supernodes_raw=part_raw.n_supernodes,
+                    n_supernodes=part.n_supernodes,
+                    mean_supernode_size=part.mean_size(),
                 )
-            else:
-                part = part_raw
-            bp = block_pattern(fill, part)
-        self.timings["supernodes"] = t.elapsed
 
-        with Timer() as t:
-            if opts.task_graph == "eforest":
-                graph = build_eforest_graph(bp)
-            else:
-                graph = build_sstar_graph(bp)
-        self.timings["task_graph"] = t.elapsed
+            with tr.span("task_graph", kind=opts.task_graph) as s:
+                if opts.task_graph == "eforest":
+                    graph = build_eforest_graph(bp)
+                else:
+                    graph = build_sstar_graph(bp)
+                s.set(n_tasks=graph.n_tasks, n_edges=graph.n_edges)
+
+            analyze_span.set(nnz_filled=fill.nnz, fill_ratio=fill.fill_ratio)
 
         self.row_perm = row_perm
         self.col_perm = col_perm
@@ -230,20 +263,54 @@ class SparseLUSolver:
 
         ``order`` may be any topological order of the task graph; ``None``
         uses the right-looking sequential order.
-        """
-        from repro.util.timer import Timer
 
+        With detail tracing on, the numeric engine feeds per-kernel
+        counters/histograms into ``tracer.metrics``, and the analyzed task
+        graph is additionally projected through the machine-model event
+        simulation (span ``simulate_schedule``) so the document carries the
+        ``engine.*`` busy/idle/message metrics of the paper's platform.
+        """
         if self.a_work is None or self.bp is None:
             raise ReproError("call analyze() first")
-        with Timer() as t:
-            engine = LUFactorization(self.a_work, self.bp)
+        tr = self.tracer
+        with tr.span("factorize") as s:
+            engine = LUFactorization(
+                self.a_work, self.bp, metrics=tr.metrics if tr.detail else None
+            )
             if order is None:
                 engine.factor_sequential()
             else:
                 engine.run_order(order)
             self.result = engine.extract()
-        self.timings["factorize"] = t.elapsed
+            ls = engine.lazy_stats
+            s.set(
+                n_tasks=len(engine.done),
+                n_updates_run=ls.n_updates_run,
+                n_updates_skipped=ls.n_updates_skipped,
+                flops_spent=ls.flops_spent,
+                flops_saved=ls.flops_saved,
+            )
+        if tr.detail:
+            self._simulate_for_trace()
         return self
+
+    def _simulate_for_trace(self, n_procs: int = 4) -> None:
+        """Detail-trace extra: event-simulate the schedule for engine metrics."""
+        from repro.parallel.machine import ORIGIN2000
+        from repro.parallel.mapping import cyclic_mapping
+        from repro.parallel.simulate import simulate_schedule
+
+        assert self.graph is not None and self.bp is not None
+        machine = ORIGIN2000.with_procs(n_procs)
+        with self.tracer.span("simulate_schedule", n_procs=n_procs) as s:
+            result = simulate_schedule(
+                self.graph,
+                self.bp,
+                machine,
+                cyclic_mapping(self.bp.n_blocks, n_procs),
+                metrics=self.tracer.metrics,
+            )
+            s.set(makespan=result.makespan, efficiency=result.efficiency)
 
     def refactorize(self, a_new: CSCMatrix, order=None) -> "SparseLUSolver":
         """Numeric factorization of *new values* on the same pattern.
@@ -256,7 +323,6 @@ class SparseLUSolver:
         handled anew).
         """
         from repro.sparse.pattern import pattern_equal
-        from repro.util.timer import Timer
 
         if self.bp is None or self.row_perm is None:
             raise ReproError("call analyze() first")
@@ -274,17 +340,19 @@ class SparseLUSolver:
 
             self.equil = equilibrate(a_new)
             source = self.equil.apply(a_new)
-        with Timer() as t:
+        tr = self.tracer
+        with tr.span("refactorize"):
             self.a_work = permute(
                 source, row_perm=self.row_perm, col_perm=self.col_perm
             )
-            engine = LUFactorization(self.a_work, self.bp)
+            engine = LUFactorization(
+                self.a_work, self.bp, metrics=tr.metrics if tr.detail else None
+            )
             if order is None:
                 engine.factor_sequential()
             else:
                 engine.run_order(order)
             self.result = engine.extract()
-        self.timings["refactorize"] = t.elapsed
         return self
 
     def solve(self, b: np.ndarray) -> np.ndarray:
@@ -295,14 +363,15 @@ class SparseLUSolver:
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.a.n_cols,):
             raise ShapeError(f"rhs has shape {b.shape}, expected ({self.a.n_cols},)")
-        if self.equil is not None:
-            b = self.equil.scale_rhs(b)
-        b_work = np.empty_like(b)
-        b_work[self.row_perm] = b
-        x_work = self.result.solve(b_work)
-        x = x_work[self.col_perm]
-        if self.equil is not None:
-            x = self.equil.unscale_solution(x)
+        with self.tracer.span("solve"):
+            if self.equil is not None:
+                b = self.equil.scale_rhs(b)
+            b_work = np.empty_like(b)
+            b_work[self.row_perm] = b
+            x_work = self.result.solve(b_work)
+            x = x_work[self.col_perm]
+            if self.equil is not None:
+                x = self.equil.unscale_solution(x)
         return x
 
     def solve_refined(self, b: np.ndarray, *, max_iters: int = 5, tol: float = 1e-14):
@@ -315,9 +384,12 @@ class SparseLUSolver:
 
         if self.result is None:
             raise ReproError("call factorize() first")
-        return iterative_refinement(
-            self.a, self.solve, b, max_iters=max_iters, tol=tol
-        )
+        with self.tracer.span("solve_refined") as s:
+            rr = iterative_refinement(
+                self.a, self.solve, b, max_iters=max_iters, tol=tol
+            )
+            s.set(iterations=rr.iterations, converged=rr.converged)
+        return rr
 
     def condition_estimate(self) -> float:
         """Hager-Higham 1-norm condition estimate from the factors."""

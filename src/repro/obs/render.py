@@ -1,0 +1,136 @@
+"""Human rendering of telemetry documents (the ``repro trace`` view).
+
+Renders the exported JSON document — not the live tracer — so the same
+function serves both a freshly traced run and a document reloaded from
+disk. Tables reuse :func:`repro.util.tables.format_table`; the span tree
+is the left-aligned first column, durations and shares right-aligned next
+to it, matching the repo's other terminal artefacts.
+"""
+
+from __future__ import annotations
+
+from repro.util.tables import format_table
+
+_MAX_ATTRS_SHOWN = 4
+
+
+def _fmt_attr_value(v) -> str:
+    if isinstance(v, float):
+        return format(v, ".4g")
+    return str(v)
+
+
+def _attr_note(attrs: dict) -> str:
+    items = [f"{k}={_fmt_attr_value(v)}" for k, v in attrs.items()]
+    note = " ".join(items[:_MAX_ATTRS_SHOWN])
+    if len(items) > _MAX_ATTRS_SHOWN:
+        note += f" (+{len(items) - _MAX_ATTRS_SHOWN})"
+    return note
+
+
+def _span_rows(span: dict, depth: int, total: float, rows: list) -> None:
+    share = 100.0 * span["duration_s"] / total if total > 0 else 0.0
+    rows.append(
+        (
+            "  " * depth + span["name"],
+            span["duration_s"],
+            share,
+            _attr_note(span["attrs"]),
+        )
+    )
+    for child in span["children"]:
+        _span_rows(child, depth + 1, total, rows)
+
+
+def render_span_tree(doc: dict) -> str:
+    """The span forest as an indented table (seconds + % of run)."""
+    spans = doc.get("spans", [])
+    if not spans:
+        return "(no spans recorded)"
+    total = sum(s["duration_s"] for s in spans)
+    rows: list = []
+    for s in spans:
+        _span_rows(s, 0, total, rows)
+    return format_table(
+        ["span", "seconds", "%", "attributes"],
+        rows,
+        title=f"trace: {len(rows)} spans, {total:.4f}s total",
+        floatfmt=".4f",
+        align="lrrl",
+    )
+
+
+def render_metrics(doc: dict) -> str:
+    """Counters, gauges, and histogram summaries as tables."""
+    metrics = doc.get("metrics", {})
+    sections: list[str] = []
+    scalars = [
+        (c["name"], c["value"], c["unit"], "counter")
+        for c in metrics.get("counters", [])
+    ] + [
+        (g["name"], g["value"], g["unit"], "gauge")
+        for g in metrics.get("gauges", [])
+    ]
+    if scalars:
+        sections.append(
+            format_table(
+                ["metric", "value", "unit", "kind"],
+                scalars,
+                title="counters & gauges",
+                floatfmt=".6g",
+                align="lrll",
+            )
+        )
+    hists = metrics.get("histograms", [])
+    if hists:
+        rows = []
+        for h in hists:
+            mean = h["total"] / h["count"] if h["count"] else 0.0
+            rows.append(
+                (
+                    h["name"],
+                    h["count"],
+                    mean,
+                    h["min"] if h["min"] is not None else "-",
+                    h["max"] if h["max"] is not None else "-",
+                    _bucket_sketch(h),
+                    h["unit"],
+                )
+            )
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "min", "max", "buckets", "unit"],
+                rows,
+                title="histograms",
+                floatfmt=".3f",
+                align="lrrrrll",
+            )
+        )
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"
+
+
+_SPARK = " .:-=+*#%@"
+
+
+def _bucket_sketch(h: dict) -> str:
+    """One character per bucket, height ∝ bucket share (log-ish ramp)."""
+    peak = max(h["counts"]) if h["counts"] else 0
+    if peak == 0:
+        return ""
+    out = []
+    for c in h["counts"]:
+        level = 0 if c == 0 else 1 + int((len(_SPARK) - 2) * c / peak)
+        out.append(_SPARK[level])
+    return "|" + "".join(out) + "|"
+
+
+def render_trace(doc: dict) -> str:
+    """Full ``repro trace`` output: span tree, then the metrics tables."""
+    parts = [render_span_tree(doc)]
+    metrics = doc.get("metrics", {})
+    if any(metrics.get(k) for k in ("counters", "gauges", "histograms")):
+        parts.append(render_metrics(doc))
+    meta = doc.get("meta", {})
+    if meta:
+        parts.append("meta: " + _attr_note(meta))
+    return "\n\n".join(parts)

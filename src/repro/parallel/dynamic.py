@@ -96,17 +96,32 @@ class DynamicRuntime:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, engine: LUFactorization, *, fifo: bool = True) -> list[Task]:
+    def run(
+        self, engine: LUFactorization, *, fifo: bool = True, metrics=None
+    ) -> list[Task]:
         """Execute the factorization, discovering readiness dynamically.
 
         ``fifo=True`` processes ready tasks in release order (a greedy
         runtime); ``fifo=False`` uses LIFO, deliberately exercising a very
         different interleaving. Returns the executed order.
+
+        ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) records
+        ``dynamic.tasks_executed`` and a ``dynamic.ready_queue_depth``
+        histogram — the run-time analogue of the simulator's dispatch
+        queue, showing how much instantaneous parallelism the lazy
+        successor rules expose.
         """
         indeg = self.initial_in_degrees()
         ready: deque[Task] = deque(sorted(t for t, d in indeg.items() if d == 0))
         executed: list[Task] = []
+        depth_hist = (
+            metrics.histogram("dynamic.ready_queue_depth", unit="tasks")
+            if metrics is not None
+            else None
+        )
         while ready:
+            if depth_hist is not None:
+                depth_hist.observe(len(ready))
             task = ready.popleft() if fifo else ready.pop()
             engine.run_task(task)
             executed.append(task)
@@ -114,6 +129,8 @@ class DynamicRuntime:
                 indeg[succ] -= 1
                 if indeg[succ] == 0:
                     ready.append(succ)
+        if metrics is not None:
+            metrics.counter("dynamic.tasks_executed", unit="tasks").inc(len(executed))
         if len(executed) != len(indeg):
             raise SchedulingError(
                 f"dynamic runtime executed {len(executed)}/{len(indeg)} tasks"

@@ -6,6 +6,31 @@ share the same mechanics: tasks with fixed processor assignments and compute
 times, messages materialized lazily per (key) with a transfer delay, and
 per-processor work-conserving dispatch by bottom-level priority. This module
 hosts that core once.
+
+Event-loop invariants (mirrored from ``docs/parallel.md``; the tests in
+``tests/parallel/test_engine.py`` and ``tests/obs/`` pin them):
+
+* **Determinism.** Same DAG, costs, and mapping → the identical event
+  sequence and makespan: ties between ready tasks break on the stringified
+  task (total order), and message arrival is memoized per
+  ``(datum key, destination processor)``, so no ordering depends on dict
+  iteration. This is what lets the benchmark tables regenerate exactly.
+* **Work conservation.** A processor never idles while it has a ready
+  task: dispatch picks, over all processors, the earliest (start time,
+  priority) candidate, where a processor's candidate is its best ready
+  task or — if none is ready — its earliest future arrival.
+* **Message dedup.** A datum crossing to a given processor is shipped once
+  no matter how many tasks there consume it (the inspector-executor
+  pre-posted-send model); ``n_messages``/``comm_bytes`` count these unique
+  shipments only.
+* **Accounting identity.** Every task contributes its compute time to
+  exactly one processor's ``busy``, hence
+  ``busy.sum() + idle == n_procs * makespan`` with
+  ``idle = Σ_p (makespan - busy[p])`` — the identity the observability
+  layer exports as ``engine.busy_seconds`` / ``engine.idle_seconds``.
+* **Progress.** Each dispatched task decrements its successors'
+  predecessor counts exactly once; if the loop cannot find a candidate
+  while tasks remain, the DAG has a cycle (raised as ``SchedulingError``).
 """
 
 from __future__ import annotations
@@ -21,14 +46,53 @@ from repro.util.errors import SchedulingError
 
 @dataclass
 class EngineResult:
-    """Outcome of one simulated run (shared by all task models)."""
+    """Outcome of one simulated run (shared by all task models).
+
+    ``start_times``/``finish_times``/``owners`` are populated only under
+    ``record_trace=True``; together they are exactly what
+    :func:`repro.obs.export.schedule_chrome_trace` needs to dump the
+    schedule for ``chrome://tracing``.
+    """
 
     makespan: float
     busy: np.ndarray
     n_messages: int
     comm_bytes: int
     n_procs: int
+    n_tasks: int = 0
     start_times: dict = field(repr=False, default_factory=dict)
+    finish_times: dict = field(repr=False, default_factory=dict)
+    owners: dict = field(repr=False, default_factory=dict)
+
+    @property
+    def idle(self) -> float:
+        """Total idle seconds across processors (complement of ``busy``)."""
+        return self.n_procs * self.makespan - float(self.busy.sum())
+
+    def chrome_trace(self) -> list[dict]:
+        """Chrome-trace events of this run (needs ``record_trace=True``)."""
+        from repro.obs.export import schedule_chrome_trace
+
+        return schedule_chrome_trace(self.start_times, self.finish_times, self.owners)
+
+    def record_metrics(self, metrics) -> None:
+        """Export this run's aggregates into a metrics registry.
+
+        Stable names (see docs/observability.md): ``engine.tasks``,
+        ``engine.messages``, ``engine.message_bytes``,
+        ``engine.busy_seconds``, ``engine.idle_seconds``, and gauges
+        ``engine.makespan_seconds`` / ``engine.n_procs`` /
+        ``engine.efficiency``. Counters accumulate across runs sharing a
+        registry; gauges keep the last run's values.
+        """
+        metrics.counter("engine.tasks", unit="tasks").inc(self.n_tasks)
+        metrics.counter("engine.messages", unit="messages").inc(self.n_messages)
+        metrics.counter("engine.message_bytes", unit="bytes").inc(self.comm_bytes)
+        metrics.counter("engine.busy_seconds", unit="s").inc(float(self.busy.sum()))
+        metrics.counter("engine.idle_seconds", unit="s").inc(self.idle)
+        metrics.gauge("engine.makespan_seconds", unit="s").set(self.makespan)
+        metrics.gauge("engine.n_procs", unit="procs").set(self.n_procs)
+        metrics.gauge("engine.efficiency").set(self.efficiency)
 
     @property
     def efficiency(self) -> float:
@@ -61,6 +125,7 @@ def run_event_simulation(
     transfer_time: Optional[Callable] = None,
     priority: Optional[Mapping] = None,
     record_trace: bool = False,
+    metrics=None,
 ) -> EngineResult:
     """Simulate a task DAG under per-processor list scheduling.
 
@@ -81,6 +146,11 @@ def run_event_simulation(
     priority:
         Dispatch priority per task (default: bottom level over compute
         time). Higher runs first among ready tasks.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`. Records the
+        run aggregates (:meth:`EngineResult.record_metrics`) plus an
+        ``engine.ready_queue_depth`` histogram observed at every dispatch.
+        ``None`` (the default) costs one branch per dispatch.
     """
     compute = {t: float(compute_time(t)) for t in tasks}
     if priority is None:
@@ -137,6 +207,11 @@ def run_event_simulation(
         if d == 0:
             enqueue(t)
 
+    depth_hist = (
+        metrics.histogram("engine.ready_queue_depth", unit="tasks")
+        if metrics is not None
+        else None
+    )
     n_done, total = 0, len(tasks)
     while n_done < total:
         best = None
@@ -155,6 +230,8 @@ def run_event_simulation(
             raise SchedulingError("deadlock: tasks remain but none is ready")
         start, _, p = best
         pull(p, start)
+        if depth_hist is not None:
+            depth_hist.observe(len(ready[p]))
         _, _, task = heapq.heappop(ready[p])
         end = start + compute[task]
         proc_free[p] = end
@@ -170,14 +247,20 @@ def run_event_simulation(
             if n_preds[succ] == 0:
                 enqueue(succ)
 
-    return EngineResult(
+    result = EngineResult(
         makespan=max(finish.values(), default=0.0),
         busy=busy,
         n_messages=n_messages,
         comm_bytes=comm_bytes,
         n_procs=n_procs,
+        n_tasks=total,
         start_times=start_times,
+        finish_times={t: finish[t] for t in start_times} if record_trace else {},
+        owners=dict(owner) if record_trace else {},
     )
+    if metrics is not None:
+        result.record_metrics(metrics)
+    return result
 
 
 def _topological(tasks: list, successors: Callable, in_degree: Mapping) -> list:

@@ -71,6 +71,7 @@ class ProcessEngine(LUFactorization):
         self.pivoted_rows: dict[int, np.ndarray] = {}
         self.done: set[Task] = set()
         self.check_dependencies = False
+        self.metrics = None
         from repro.numeric.factor import LazyStats
         from repro.numeric.kernels import lu_panel_inplace
 

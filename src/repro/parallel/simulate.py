@@ -39,6 +39,7 @@ def simulate_schedule(
     owner: np.ndarray,
     *,
     record_trace: bool = False,
+    metrics=None,
 ) -> SimulationResult:
     """Simulate ``graph`` on ``machine`` under the 1-D mapping ``owner``.
 
@@ -53,6 +54,9 @@ def simulate_schedule(
     owner:
         ``owner[k]`` = processor of block column ``k``; every task runs on
         ``owner[task.target]``.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` receiving the
+        ``engine.*`` busy/idle/message metrics of the run.
     """
     owner = np.asarray(owner, dtype=np.int64)
     if owner.size != bp.n_blocks:
@@ -85,6 +89,7 @@ def simulate_schedule(
         message_of=message_of,
         transfer_time=machine.transfer_time,
         record_trace=record_trace,
+        metrics=metrics,
     )
 
 
@@ -94,6 +99,7 @@ def simulate_solve_phase(
     owner: np.ndarray,
     *,
     record_trace: bool = False,
+    metrics=None,
 ) -> SimulationResult:
     """Simulate the step-(4) triangular solves under the same 1-D mapping.
 
@@ -129,4 +135,5 @@ def simulate_solve_phase(
         message_of=message_of,
         transfer_time=machine.transfer_time,
         record_trace=record_trace,
+        metrics=metrics,
     )

@@ -23,6 +23,8 @@ def threaded_factorize(
     engine: LUFactorization,
     graph: TaskGraph,
     n_threads: int = 4,
+    *,
+    metrics=None,
 ) -> None:
     """Execute every task of ``graph`` on ``engine`` with ``n_threads``
     workers; returns when the factorization is complete.
@@ -30,10 +32,22 @@ def threaded_factorize(
     Tasks become eligible when all predecessors committed; a lock-protected
     counter map hands them to the worker pool. Any worker exception aborts
     the pool and is re-raised.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) records
+    ``threads.tasks_executed``, a ``threads.work_queue_depth`` histogram
+    sampled at each dequeue, and the ``threads.workers`` gauge. Like
+    ``LazyStats``, these are updated without a lock from workers and may
+    undercount slightly under contention; the numerics are unaffected.
     """
     if n_threads < 1:
         raise ValueError(f"n_threads must be >= 1, got {n_threads}")
     graph.validate()
+    if metrics is not None:
+        metrics.gauge("threads.workers", unit="threads").set(n_threads)
+        tasks_ctr = metrics.counter("threads.tasks_executed", unit="tasks")
+        depth_hist = metrics.histogram("threads.work_queue_depth", unit="tasks")
+    else:
+        tasks_ctr = depth_hist = None
     n_preds = {t: graph.in_degree(t) for t in graph.tasks()}
     lock = threading.Lock()
     work: Queue = Queue()
@@ -52,6 +66,8 @@ def threaded_factorize(
             task = work.get()
             if task is _SENTINEL:
                 return
+            if depth_hist is not None:
+                depth_hist.observe(work.qsize())
             try:
                 engine.run_task(task)
             except BaseException as exc:  # propagate to caller
@@ -61,6 +77,8 @@ def threaded_factorize(
                 for _ in range(n_threads):
                     work.put(_SENTINEL)
                 return
+            if tasks_ctr is not None:
+                tasks_ctr.inc()
             with lock:
                 done_count += 1
                 finished = done_count >= total

@@ -161,6 +161,7 @@ def simulate_2d(
     *,
     model: TwoDModel | None = None,
     record_trace: bool = False,
+    metrics=None,
 ) -> EngineResult:
     """Simulate the 2-D factorization on a ``pr x pc`` grid of
     ``machine.n_procs`` processors (2-D block-cyclic ownership)."""
@@ -199,6 +200,7 @@ def simulate_2d(
         message_of=message_of,
         transfer_time=machine.transfer_time,
         record_trace=record_trace,
+        metrics=metrics,
     )
 
 

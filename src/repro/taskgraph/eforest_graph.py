@@ -26,6 +26,19 @@ Updates whose source chain leaves the range without meeting ``k`` (sources
 rooted in earlier eforest trees) have no successor: their work is confined to
 rows above block ``k``'s pivot range, so nothing waits on them — this is
 where the graph exposes the extra parallelism over S*.
+
+The ancestor-chain walk of rules 4-5 is the graph's load-bearing invariant:
+starting from ``j = parent(i)``, skip every ancestor ``j < k`` that stores
+no block in column ``k`` (``k ∉ sources(j)``), and stop at the first that
+does — emitting ``U(i,k) → U(j,k)`` — or at ``j = k`` itself — emitting
+``U(i,k) → F(k)``. Exactly this walk is re-evaluated lazily (edges never
+stored) by :class:`repro.parallel.dynamic.DynamicRuntime.successors`, and a
+unit test asserts edge-set equality between the two. Executors check the
+same relation at run time (``check_dependencies``), and the discrete-event
+loop in :mod:`repro.parallel.engine` documents the invariants it preserves
+when scheduling this graph. See ``docs/task_model.md`` for the worked
+Figure-4 example and ``docs/observability.md`` for the ``task_graph`` span
+attributes (``n_tasks``/``n_edges``) the builder reports.
 """
 
 from __future__ import annotations

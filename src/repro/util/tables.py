@@ -24,6 +24,7 @@ def format_table(
     *,
     title: str | None = None,
     floatfmt: str = ".3f",
+    align: str | None = None,
 ) -> str:
     """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
 
@@ -38,7 +39,16 @@ def format_table(
         Optional caption printed above the table.
     floatfmt:
         ``format()`` spec applied to float cells.
+    align:
+        One character per column, ``"l"`` or ``"r"`` (default: all right-
+        aligned, the numeric-table convention). The trace tree view uses a
+        left-aligned label column.
     """
+    if align is not None:
+        if len(align) != len(headers) or set(align) - {"l", "r"}:
+            raise ValueError(
+                f"align must be {len(headers)} chars of 'l'/'r', got {align!r}"
+            )
     str_rows = []
     for row in rows:
         row = list(row)
@@ -53,8 +63,14 @@ def format_table(
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
 
+    aligns = align or "r" * len(headers)
+
     def line(cells: Sequence[str]) -> str:
-        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        cols = [
+            c.ljust(w) if a == "l" else c.rjust(w)
+            for c, w, a in zip(cells, widths, aligns)
+        ]
+        return "  ".join(cols).rstrip()
 
     out = []
     if title:

@@ -1,4 +1,10 @@
-"""Tiny wall-clock timing helper used by the evaluation harness."""
+"""Tiny wall-clock timing helper used by the evaluation harness.
+
+For pipeline instrumentation this has been superseded by :mod:`repro.obs`
+(nested spans, metric registries, schema-versioned export); ``Timer``
+remains for one-off measurements in benchmarks and scripts where a bare
+context manager is all that is needed.
+"""
 
 from __future__ import annotations
 

@@ -26,6 +26,7 @@ class CheckResult:
 @dataclass
 class SelfCheckReport:
     checks: list[CheckResult] = field(default_factory=list)
+    trace_summary: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -42,7 +43,24 @@ class SelfCheckReport:
         lines.append(
             f"{sum(c.ok for c in self.checks)}/{len(self.checks)} checks passed"
         )
+        if self.trace_summary:
+            stages = " ".join(
+                f"{k}={v:.3f}s" for k, v in sorted(self.trace_summary.items())
+            )
+            lines.append(f"stage seconds: {stages}")
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form, printed by ``repro selfcheck --json``."""
+        return {
+            "schema": "repro.selfcheck",
+            "schema_version": 1,
+            "ok": self.ok,
+            "checks": [
+                {"name": c.name, "ok": c.ok, "detail": c.detail} for c in self.checks
+            ],
+            "trace_summary": dict(self.trace_summary),
+        }
 
 
 def selfcheck(*, n: int = 40, seed: int = 7) -> SelfCheckReport:
@@ -154,3 +172,13 @@ def _run_checks(report: SelfCheckReport, n: int, seed: int) -> None:
         r1.makespan == r2.makespan,
         f"makespan {r1.makespan:.4f}s",
     )
+
+    from repro.obs.export import validate_document
+
+    doc = solver.tracer.export(meta={"source": "selfcheck", "n": n})
+    report.add(
+        "telemetry export is schema-valid",
+        not validate_document(doc),
+        f"schema v{doc['schema_version']}, {len(doc['spans'])} root spans",
+    )
+    report.trace_summary = solver.tracer.stage_seconds()

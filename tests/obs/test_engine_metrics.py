@@ -1,0 +1,114 @@
+"""Engine metric wiring: the busy/idle accounting identity and agreement
+between the exported counters and the simulation's own result object."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.solver import SparseLUSolver
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.machine import MachineModel
+from repro.parallel.mapping import cyclic_mapping
+from repro.parallel.simulate import simulate_schedule, simulate_solve_phase
+from repro.sparse.generators import paper_matrix
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    return SparseLUSolver(paper_matrix("orsreg1", scale=0.2)).analyze()
+
+
+@pytest.fixture(scope="module")
+def simulated(analyzed):
+    machine = MachineModel(n_procs=4)
+    owner = cyclic_mapping(analyzed.bp.n_blocks, machine.n_procs)
+    metrics = MetricsRegistry()
+    result = simulate_schedule(
+        analyzed.graph, analyzed.bp, machine, owner, metrics=metrics
+    )
+    return result, metrics
+
+
+class TestAccountingIdentity:
+    def test_busy_plus_idle_equals_procs_times_makespan(self, simulated):
+        result, metrics = simulated
+        busy = metrics.get("engine.busy_seconds").value
+        idle = metrics.get("engine.idle_seconds").value
+        makespan = metrics.get("engine.makespan_seconds").value
+        n_procs = metrics.get("engine.n_procs").value
+        assert busy + idle == pytest.approx(n_procs * makespan, rel=1e-9)
+
+    def test_busy_matches_independent_task_cost_sum(self, analyzed, simulated):
+        # Independent recomputation: every task contributes its compute time
+        # to exactly one processor's busy total.
+        from repro.numeric.costs import CostModel
+
+        result, metrics = simulated
+        machine = MachineModel(n_procs=4)
+        model = CostModel(analyzed.bp)
+        expected = sum(
+            machine.compute_time(model.flops(t), model.width(t))
+            for t in analyzed.graph.tasks()
+        )
+        assert metrics.get("engine.busy_seconds").value == pytest.approx(
+            expected, rel=1e-9
+        )
+
+
+class TestCountersMatchResult:
+    def test_counters_agree_with_engine_result(self, simulated):
+        result, metrics = simulated
+        assert metrics.get("engine.tasks").value == result.n_tasks
+        assert metrics.get("engine.messages").value == result.n_messages
+        assert metrics.get("engine.message_bytes").value == result.comm_bytes
+        assert metrics.get("engine.busy_seconds").value == pytest.approx(
+            float(result.busy.sum())
+        )
+        assert metrics.get("engine.idle_seconds").value == pytest.approx(result.idle)
+        assert metrics.get("engine.efficiency").value == pytest.approx(
+            result.efficiency
+        )
+
+    def test_queue_depth_observed_once_per_dispatch(self, simulated):
+        result, metrics = simulated
+        hist = metrics.get("engine.ready_queue_depth")
+        assert hist.count == result.n_tasks
+        assert hist.min >= 0
+
+    def test_metrics_do_not_change_the_schedule(self, analyzed):
+        machine = MachineModel(n_procs=4)
+        owner = cyclic_mapping(analyzed.bp.n_blocks, machine.n_procs)
+        bare = simulate_schedule(analyzed.graph, analyzed.bp, machine, owner)
+        instrumented = simulate_schedule(
+            analyzed.graph, analyzed.bp, machine, owner, metrics=MetricsRegistry()
+        )
+        assert bare.makespan == instrumented.makespan
+        assert bare.n_messages == instrumented.n_messages
+
+
+class TestSolvePhase:
+    def test_solve_phase_identity(self, analyzed):
+        machine = MachineModel(n_procs=4)
+        owner = cyclic_mapping(analyzed.bp.n_blocks, machine.n_procs)
+        metrics = MetricsRegistry()
+        result = simulate_solve_phase(analyzed.bp, machine, owner, metrics=metrics)
+        busy = metrics.get("engine.busy_seconds").value
+        idle = metrics.get("engine.idle_seconds").value
+        assert busy + idle == pytest.approx(
+            machine.n_procs * result.makespan, rel=1e-9
+        )
+
+
+class TestChromeSchedule:
+    def test_record_trace_feeds_chrome_dump(self, analyzed):
+        machine = MachineModel(n_procs=4)
+        owner = cyclic_mapping(analyzed.bp.n_blocks, machine.n_procs)
+        result = simulate_schedule(
+            analyzed.graph, analyzed.bp, machine, owner, record_trace=True
+        )
+        events = result.chrome_trace()
+        assert len(events) == result.n_tasks
+        tids = {e["tid"] for e in events}
+        assert tids <= set(range(machine.n_procs))
+        assert max(e["ts"] + e["dur"] for e in events) == pytest.approx(
+            result.makespan * 1e6
+        )

@@ -1,0 +1,110 @@
+"""Instrument arithmetic and registry semantics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x", unit="calls")
+        c.inc()
+        c.inc(4)
+        c.inc(0)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_as_dict(self):
+        c = Counter("kernel.gemm.calls", unit="calls")
+        c.inc(2)
+        assert c.as_dict() == {
+            "name": "kernel.gemm.calls",
+            "unit": "calls",
+            "value": 2,
+        }
+
+
+class TestGauge:
+    def test_keeps_last_value(self):
+        g = Gauge("makespan", unit="s")
+        g.set(1.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("w", bounds=(1, 2, 4))
+        for v in (1, 2, 2, 3, 4, 100):
+            h.observe(v)
+        # v <= 1 | v <= 2 | v <= 4 | overflow
+        assert h.counts == [1, 2, 2, 1]
+        assert h.count == 6
+        assert sum(h.counts) == h.count
+        assert h.min == 1 and h.max == 100
+        assert h.total == pytest.approx(112.0)
+        assert h.mean == pytest.approx(112.0 / 6)
+
+    def test_empty_histogram(self):
+        h = Histogram("w")
+        assert h.count == 0
+        assert h.min is None and h.max is None
+        assert h.mean == 0.0
+        assert len(h.counts) == len(DEFAULT_BOUNDS) + 1
+
+    def test_rejects_non_ascending_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("w", bounds=(4, 2))
+        with pytest.raises(ValueError):
+            Histogram("w", bounds=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_name_has_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_get_by_name(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        h = reg.histogram("b")
+        assert reg.get("a") is c
+        assert reg.get("b") is h
+        assert reg.get("missing") is None
+
+    def test_empty_flag(self):
+        reg = MetricsRegistry()
+        assert reg.empty
+        reg.counter("a")
+        assert not reg.empty
+
+    def test_as_dict_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c", unit="n").inc(3)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(5)
+        d = reg.as_dict()
+        assert {c["name"] for c in d["counters"]} == {"c"}
+        assert {g["name"] for g in d["gauges"]} == {"g"}
+        assert {h["name"] for h in d["histograms"]} == {"h"}

@@ -1,0 +1,130 @@
+"""Span tree mechanics: nesting, ordering, the disabled no-op path."""
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+
+class TestNesting:
+    def test_children_nest_under_open_parent(self):
+        tr = Tracer()
+        with tr.span("analyze"):
+            with tr.span("ordering"):
+                pass
+            with tr.span("static_fill"):
+                pass
+        with tr.span("factorize"):
+            pass
+        assert [s.name for s in tr.roots] == ["analyze", "factorize"]
+        assert [c.name for c in tr.roots[0].children] == ["ordering", "static_fill"]
+        assert tr.roots[1].children == []
+
+    def test_walk_is_depth_first_preorder(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+            with tr.span("d"):
+                pass
+        assert [s.name for s in tr.walk()] == ["a", "b", "c", "d"]
+
+    def test_intervals_nest_and_are_ordered(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer, inner = tr.roots[0], tr.roots[0].children[0]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_sibling_spans_do_not_overlap_in_order(self):
+        tr = Tracer()
+        with tr.span("p"):
+            with tr.span("first"):
+                pass
+            with tr.span("second"):
+                pass
+        first, second = tr.roots[0].children
+        assert first.end <= second.start
+
+    def test_current_and_annotate(self):
+        tr = Tracer()
+        assert tr.current is None
+        tr.annotate(ignored=True)  # no open span: silently dropped
+        with tr.span("stage") as s:
+            assert tr.current is s
+            tr.annotate(nnz=42)
+        assert tr.current is None
+        assert tr.roots[0].attrs["nnz"] == 42
+        assert "ignored" not in tr.roots[0].attrs
+
+    def test_attrs_via_kwargs_and_set(self):
+        tr = Tracer()
+        with tr.span("s", n=10) as s:
+            s.set(fill=2.5, method="mindeg")
+        assert tr.roots[0].attrs == {"n": 10, "fill": 2.5, "method": "mindeg"}
+
+    def test_exception_unwinds_stack(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans were closed despite the exception...
+        assert all(s.end is not None for s in tr.walk())
+        # ...and a new span lands back at root level.
+        with tr.span("after"):
+            pass
+        assert [s.name for s in tr.roots] == ["outer", "after"]
+
+    def test_find(self):
+        tr = Tracer()
+        with tr.span("analyze"):
+            with tr.span("ordering"):
+                pass
+        assert tr.find("ordering") is tr.roots[0].children[0]
+        assert tr.find("missing") is None
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_singleton(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("anything") is NULL_SPAN
+        assert tr.span("other", attr=1) is NULL_SPAN
+
+    def test_null_span_supports_span_surface(self):
+        with NULL_SPAN as s:
+            assert s.set(n=1) is NULL_SPAN
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        assert tr.roots == []
+        assert tr.stage_seconds() == {}
+
+
+class TestStageSeconds:
+    def test_sums_repeated_span_names(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("refactorize"):
+                pass
+        secs = tr.stage_seconds()
+        assert set(secs) == {"refactorize"}
+        total = sum(s.duration for s in tr.roots)
+        assert secs["refactorize"] == pytest.approx(total)
+
+    def test_includes_nested_stages(self):
+        tr = Tracer()
+        with tr.span("analyze"):
+            with tr.span("ordering"):
+                pass
+        assert set(tr.stage_seconds()) == {"analyze", "ordering"}
+
+    def test_open_span_counts_zero(self):
+        s = Span("open", 0.0)
+        assert s.duration == 0.0

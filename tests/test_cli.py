@@ -114,3 +114,46 @@ class TestBench:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "table9"])
+
+
+class TestTrace:
+    def test_renders_span_tree_and_metrics(self, capsys):
+        assert main(["trace", "orsreg1", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        for name in ("analyze", "factorize", "solve", "ordering"):
+            assert name in out
+        assert "kernel.gemm.flops" in out
+        assert "engine.busy_seconds" in out
+
+    def test_writes_valid_telemetry_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_document
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "orsreg1", "--scale", "0.15", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert validate_document(doc) == []
+        assert doc["meta"]["matrix"] == "orsreg1"
+
+    def test_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "chrome.json"
+        assert main(["trace", "orsreg1", "--scale", "0.15", "--chrome", str(path)]) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+
+
+class TestSelfcheckJSON:
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["selfcheck", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.selfcheck"
+        assert doc["ok"] is True
+        assert any(
+            c["name"] == "telemetry export is schema-valid" for c in doc["checks"]
+        )
+        assert "factorize" in doc["trace_summary"]
