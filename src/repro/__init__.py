@@ -86,6 +86,16 @@ from repro.obs import (
     render_trace,
 )
 
+# Serving layer last: it composes the numeric + obs layers above.
+from repro.serve import (
+    SolverService,
+    PlanCache,
+    SymbolicPlan,
+    build_plan,
+    fingerprint,
+    refactorize_with_plan,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -135,5 +145,11 @@ __all__ = [
     "export_json",
     "validate_document",
     "render_trace",
+    "SolverService",
+    "PlanCache",
+    "SymbolicPlan",
+    "build_plan",
+    "fingerprint",
+    "refactorize_with_plan",
     "__version__",
 ]

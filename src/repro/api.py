@@ -11,6 +11,13 @@ For users who want the paper's machinery without driving the pipeline:
 >>> x2 = fact.solve(np.ones(a.n_cols))
 >>> bool(np.allclose(x, x2))
 True
+
+Repeated solves on a frozen sparsity pattern skip the symbolic analysis
+entirely via the serving layer (docs/serving.md):
+
+>>> plan = fact.plan              # freeze the static analysis
+>>> fact2 = lu(a, plan=plan)      # warm start: numeric phase only
+>>> fact3 = fact.refactor(a.data * 2.0)   # new values, same pattern
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ class LUHandle:
     solver: SparseLUSolver
 
     def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve for one RHS ``(n,)`` or a block of them ``(n, k)``."""
         return self.solver.solve(b)
 
     def solve_refined(self, b: np.ndarray):
@@ -39,6 +47,29 @@ class LUHandle:
         """Re-factor new values on the same pattern (symbolic work reused)."""
         self.solver.refactorize(a_new)
         return self
+
+    def refactor(self, values) -> "LUHandle":
+        """Re-factor with ``values`` replacing the matrix's data array.
+
+        ``values`` is either a flat array aligned with the stored pattern
+        (``a.data`` order, length ``nnz``) or a full :class:`CSCMatrix`
+        with the identical pattern. Only the numeric phase runs — the
+        symbolic analysis of the original factorization is reused
+        (Theorem 3 makes it a pure function of the pattern).
+        """
+        if isinstance(values, CSCMatrix):
+            a_new = values
+        else:
+            values = np.asarray(values, dtype=np.float64)
+            a_new = self.solver.a.with_values(values)
+        self.solver.refactorize(a_new)
+        return self
+
+    @property
+    def plan(self):
+        """This factorization's symbolic analysis as a frozen, cacheable
+        :class:`repro.serve.SymbolicPlan` (see docs/serving.md)."""
+        return self.solver.plan()
 
     @property
     def condition_estimate(self) -> float:
@@ -60,18 +91,32 @@ class LUHandle:
         return self.solver.tracer
 
 
-def lu(a: CSCMatrix, *, trace: bool = False, **options) -> LUHandle:
+def lu(a: CSCMatrix, *, trace: bool = False, plan=None, **options) -> LUHandle:
     """Analyze and factorize ``a``; keyword args map to
     :class:`SolverOptions` (``ordering=``, ``postorder=``, ...).
 
     ``trace=True`` turns on detail tracing (see docs/observability.md);
     the resulting telemetry is available as ``handle.trace``.
+
+    ``plan=`` warm-starts from a cached :class:`repro.serve.SymbolicPlan`
+    built for this pattern: the symbolic phase is skipped and the plan's
+    options apply (so ``plan=`` and option keywords are mutually
+    exclusive).
     """
+    if plan is not None:
+        if options:
+            raise ValueError(
+                "lu(plan=...) uses the plan's options; do not also pass "
+                f"option keywords {sorted(options)}"
+            )
+        solver = SparseLUSolver(a, plan.options, trace=trace)
+        solver.adopt_plan(plan).factorize()
+        return LUHandle(solver=solver)
     solver = SparseLUSolver(a, SolverOptions(**options), trace=trace)
     solver.analyze().factorize()
     return LUHandle(solver=solver)
 
 
 def solve(a: CSCMatrix, b: np.ndarray, **options) -> np.ndarray:
-    """Solve ``A x = b`` in one call (factors are not kept)."""
+    """Solve ``A x = b`` (one RHS or a block) in one call (factors not kept)."""
     return lu(a, **options).solve(b)

@@ -12,6 +12,9 @@ Commands
 ``matrices``   list the available Table-1 analogs.
 ``selfcheck``  condensed end-to-end verification (``--json`` for machines).
 ``generate``   write a synthetic analog to a Matrix Market file.
+``serve-bench`` replay a synthetic request stream through the serving
+               layer (plan cache + batched solver service) and report
+               cold/warm throughput, latency percentiles, cache stats.
 """
 
 from __future__ import annotations
@@ -229,6 +232,48 @@ def cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.obs.export import validate_document, write_json
+    from repro.obs.trace import Tracer
+    from repro.serve.bench import run_serve_benchmark, summary_rows
+
+    if args.quick:
+        n_patterns, requests, scale, repeats = 2, 2, 0.06, 1
+    else:
+        n_patterns, requests, scale = args.patterns, args.requests, args.scale
+        repeats = args.repeats
+    tracer = Tracer()
+    data = run_serve_benchmark(
+        n_patterns=n_patterns,
+        requests_per_pattern=requests,
+        scale=scale,
+        n_workers=args.workers,
+        repeats=repeats,
+        tracer=tracer,
+    )
+    if args.json:
+        doc = tracer.export(meta={"benchmark": "serve-bench", **{
+            k: data[k]
+            for k in ("matrix", "scale", "n_patterns", "requests_per_pattern",
+                      "n_workers", "warm_over_cold_throughput")
+        }})
+        errors = validate_document(doc)
+        if errors:  # defensive: the exporter should always emit valid documents
+            for e in errors:
+                print(f"telemetry schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"telemetry written to {args.json}")
+    print(
+        format_table(
+            ["quantity", "value"],
+            summary_rows(data),
+            title=f"serve-bench: {data['matrix']} @ scale {scale}",
+        )
+    )
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     a = paper_matrix(args.name, scale=args.scale)
     write_matrix_market(a, args.output)
@@ -282,6 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report on stdout"
     )
     p.set_defaults(func=cmd_selfcheck)
+
+    p = sub.add_parser(
+        "serve-bench", help="cold/warm request-stream benchmark of repro.serve"
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI-friendly)"
+    )
+    p.add_argument("--patterns", type=int, default=6, help="distinct patterns")
+    p.add_argument(
+        "--requests", type=int, default=2, help="requests per pattern per stream"
+    )
+    p.add_argument("--scale", type=float, default=0.15, help="analog size factor")
+    p.add_argument("--workers", type=int, default=2, help="service worker threads")
+    p.add_argument(
+        "--repeats", type=int, default=2, help="replays per stream (best kept)"
+    )
+    p.add_argument("--json", metavar="PATH", help="write telemetry JSON document")
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("generate", help="write an analog to a .mtx file")
     p.add_argument("name", choices=sorted(PAPER_MATRICES))

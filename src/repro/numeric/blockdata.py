@@ -5,6 +5,14 @@ row ranges of its stored blocks ``B̄_{i,j}`` (padding inside a block is
 explicit zeros, as in S+). Rows are addressed by *global row id*; the id →
 panel-position lookup goes through the block boundaries, so it is O(log
 #blocks) vectorized.
+
+The storage is split in two layers mirroring the paper's static/numeric
+phase boundary: :class:`BlockLayout` holds everything derivable from the
+block pattern alone (boundaries, per-column block lists, panel offsets,
+candidate-row ids) and is immutable once built, so a cached symbolic plan
+can share one layout across arbitrarily many numeric refactorizations and
+threads; :class:`BlockColumnData` allocates the panels and scatters one
+matrix's values into them.
 """
 
 from __future__ import annotations
@@ -16,87 +24,73 @@ from repro.symbolic.supernodes import BlockPattern
 from repro.util.errors import PatternError, ShapeError
 
 
-class BlockColumnData:
-    """All dense panels of one matrix, indexed by block column.
+class BlockLayout:
+    """Pattern-derived structural metadata of the panel storage.
 
-    Parameters
-    ----------
-    a:
-        The (ordered, statically analyzable) matrix with values; its stored
-        entries are scattered into the panels.
-    bp:
-        Block pattern over the supernode partition; defines which blocks are
-        materialized.
-    owned_columns:
-        When given, only these block columns get panels (the others stay
-        ``None``) — the per-process storage of a distributed-memory run.
-        Pattern metadata (boundaries, block lists, offsets) is replicated
-        on every process, exactly as real distributed codes replicate the
-        symbolic structure.
+    Everything here depends only on the block pattern of ``Ā`` — not on
+    values — so one layout serves every numeric factorization with the same
+    pattern. All arrays are precomputed and never mutated after
+    construction, which makes sharing a layout across concurrently running
+    factorizations safe.
     """
 
-    def __init__(
-        self,
-        a: CSCMatrix,
-        bp: BlockPattern,
-        owned_columns: "set[int] | None" = None,
-    ) -> None:
-        if not a.is_square or a.n_cols != bp.partition.n:
-            raise ShapeError(
-                f"matrix ({a.shape}) and partition ({bp.partition.n}) disagree"
-            )
-        if not a.has_values:
-            raise PatternError("numeric factorization needs matrix values")
+    __slots__ = (
+        "bp",
+        "n",
+        "n_blocks",
+        "starts",
+        "block_of_row",
+        "col_blocks",
+        "col_offsets",
+        "panel_heights",
+        "_diag_offsets",
+        "_sub_rows",
+    )
+
+    def __init__(self, bp: BlockPattern) -> None:
         part = bp.partition
         self.bp = bp
-        self.n = a.n_cols
+        self.n = part.n
         self.n_blocks = bp.n_blocks
         self.starts = part.starts  # scalar boundaries of block rows/cols
         # block_of_row[r] = block-row index of scalar row r.
         self.block_of_row = part.member_of()
 
-        self.owned_columns = (
-            set(range(self.n_blocks)) if owned_columns is None else set(owned_columns)
-        )
         self.col_blocks: list[np.ndarray] = []  # ascending block ids per column
         self.col_offsets: list[np.ndarray] = []  # panel offset of each block
-        self.panels: list = []
+        self.panel_heights: list[int] = []
+        self._diag_offsets: list[int] = []  # -1 when the diagonal block is absent
+        self._sub_rows: list = []  # candidate-row ids, None when diag absent
         for k in range(self.n_blocks):
-            blocks = bp.col_blocks(k)
+            blocks = bp.col_blocks(k).astype(np.int64)
             heights = self.starts[blocks + 1] - self.starts[blocks]
             offsets = np.zeros(blocks.size, dtype=np.int64)
             np.cumsum(heights[:-1], out=offsets[1:])
-            height = int(heights.sum())
-            width = int(self.starts[k + 1] - self.starts[k])
-            self.col_blocks.append(blocks.astype(np.int64))
+            self.col_blocks.append(blocks)
             self.col_offsets.append(offsets)
-            if k in self.owned_columns:
-                self.panels.append(np.zeros((height, width), dtype=np.float64))
-            else:
-                self.panels.append(None)
-
-        # Scatter A's values (owned columns only).
-        for col in range(self.n):
-            k = int(self.block_of_row[col])  # block column of scalar col
-            if k not in self.owned_columns:
-                continue
-            local_col = col - int(self.starts[k])
-            rows = a.col_rows(col)
-            vals = a.col_values(col)
-            pos, present = self.positions(k, rows)
-            if not np.all(present):
-                missing = rows[~present][:5]
-                raise PatternError(
-                    f"entries of column {col} fall outside the block pattern "
-                    f"(rows {missing.tolist()}): the pattern must cover Ā ⊇ A"
+            self.panel_heights.append(int(heights.sum()))
+            idx = int(np.searchsorted(blocks, k))
+            if idx < blocks.size and blocks[idx] == k:
+                self._diag_offsets.append(int(offsets[idx]))
+                subs = np.concatenate(
+                    [
+                        np.arange(self.starts[b], self.starts[b + 1], dtype=np.int64)
+                        for b in blocks[idx:]
+                    ]
                 )
-            self.panels[k][pos, local_col] = vals
+                subs.setflags(write=False)
+                self._sub_rows.append(subs)
+            else:
+                self._diag_offsets.append(-1)
+                self._sub_rows.append(None)
 
     # ------------------------------------------------------------------
     def width(self, k: int) -> int:
         return int(self.starts[k + 1] - self.starts[k])
 
-    def positions(self, k: int, global_rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def positions(
+        self, k: int, global_rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Panel positions of ``global_rows`` in block column ``k``.
 
         Returns ``(pos, present)``; ``pos`` is only valid where ``present``.
@@ -122,23 +116,117 @@ class BlockColumnData:
 
     def diag_offset(self, k: int) -> int:
         """Panel offset of the diagonal block in block column ``k``."""
-        blocks = self.col_blocks[k]
-        idx = int(np.searchsorted(blocks, k))
-        if idx >= blocks.size or blocks[idx] != k:
+        off = self._diag_offsets[k]
+        if off < 0:
             raise PatternError(f"diagonal block ({k},{k}) is not stored")
-        return int(self.col_offsets[k][idx])
+        return off
+
+    def sub_rows(self, k: int) -> np.ndarray:
+        """Global row ids of the candidate (diagonal-and-below) panel rows.
+
+        The returned array is precomputed, shared, and read-only.
+        """
+        subs = self._sub_rows[k]
+        if subs is None:
+            raise PatternError(f"diagonal block ({k},{k}) is not stored")
+        return subs
+
+
+class BlockColumnData:
+    """All dense panels of one matrix, indexed by block column.
+
+    Parameters
+    ----------
+    a:
+        The (ordered, statically analyzable) matrix with values; its stored
+        entries are scattered into the panels.
+    bp:
+        Block pattern over the supernode partition; defines which blocks are
+        materialized.
+    owned_columns:
+        When given, only these block columns get panels (the others stay
+        ``None``) — the per-process storage of a distributed-memory run.
+        Pattern metadata (boundaries, block lists, offsets) is replicated
+        on every process, exactly as real distributed codes replicate the
+        symbolic structure.
+    layout:
+        A precomputed :class:`BlockLayout` for ``bp`` (e.g. carried by a
+        cached symbolic plan). When omitted, one is built here; when given,
+        it must have been built from this ``bp``.
+    """
+
+    def __init__(
+        self,
+        a: CSCMatrix,
+        bp: BlockPattern,
+        owned_columns: "set[int] | None" = None,
+        *,
+        layout: "BlockLayout | None" = None,
+    ) -> None:
+        if not a.is_square or a.n_cols != bp.partition.n:
+            raise ShapeError(
+                f"matrix ({a.shape}) and partition ({bp.partition.n}) disagree"
+            )
+        if not a.has_values:
+            raise PatternError("numeric factorization needs matrix values")
+        if layout is None:
+            layout = BlockLayout(bp)
+        elif layout.n != a.n_cols or layout.n_blocks != bp.n_blocks:
+            raise ShapeError("layout does not match the given block pattern")
+        self.layout = layout
+        self.bp = bp
+        self.n = a.n_cols
+        self.n_blocks = bp.n_blocks
+        self.starts = layout.starts
+        self.block_of_row = layout.block_of_row
+        self.col_blocks = layout.col_blocks
+        self.col_offsets = layout.col_offsets
+
+        self.owned_columns = (
+            set(range(self.n_blocks)) if owned_columns is None else set(owned_columns)
+        )
+        self.panels: list = [
+            np.zeros((layout.panel_heights[k], layout.width(k)), dtype=np.float64)
+            if k in self.owned_columns
+            else None
+            for k in range(self.n_blocks)
+        ]
+
+        # Scatter A's values (owned columns only).
+        for col in range(self.n):
+            k = int(self.block_of_row[col])  # block column of scalar col
+            if k not in self.owned_columns:
+                continue
+            local_col = col - int(self.starts[k])
+            rows = a.col_rows(col)
+            vals = a.col_values(col)
+            pos, present = self.positions(k, rows)
+            if not np.all(present):
+                missing = rows[~present][:5]
+                raise PatternError(
+                    f"entries of column {col} fall outside the block pattern "
+                    f"(rows {missing.tolist()}): the pattern must cover Ā ⊇ A"
+                )
+            self.panels[k][pos, local_col] = vals
+
+    # ------------------------------------------------------------------
+    def width(self, k: int) -> int:
+        return self.layout.width(k)
+
+    def positions(self, k: int, global_rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Panel positions of ``global_rows`` in block column ``k``.
+
+        Returns ``(pos, present)``; ``pos`` is only valid where ``present``.
+        """
+        return self.layout.positions(k, global_rows)
+
+    def diag_offset(self, k: int) -> int:
+        """Panel offset of the diagonal block in block column ``k``."""
+        return self.layout.diag_offset(k)
 
     def sub_rows(self, k: int) -> np.ndarray:
         """Global row ids of the candidate (diagonal-and-below) panel rows."""
-        blocks = self.col_blocks[k]
-        subs = blocks[blocks >= k]
-        if subs.size == 0 or subs[0] != k:
-            raise PatternError(f"diagonal block ({k},{k}) is not stored")
-        parts = [
-            np.arange(self.starts[b], self.starts[b + 1], dtype=np.int64)
-            for b in subs
-        ]
-        return np.concatenate(parts)
+        return self.layout.sub_rows(k)
 
     def sub_panel(self, k: int) -> np.ndarray:
         """View of the candidate rows of panel ``k`` (diagonal block first).

@@ -167,8 +167,12 @@ class LUFactorization:
         check_dependencies: bool = False,
         panel_kernel=None,
         metrics=None,
+        layout=None,
     ) -> None:
-        self.data = BlockColumnData(a, bp)
+        # ``layout`` is an optional precomputed BlockLayout for ``bp`` (a
+        # cached symbolic plan carries one) so repeated numeric
+        # factorizations skip rebuilding the structural metadata.
+        self.data = BlockColumnData(a, bp, layout=layout)
         self.bp = bp
         self.n = a.n_cols
         self.orig_at = np.arange(self.n, dtype=np.int64)
@@ -383,7 +387,12 @@ class LUFactorization:
 
     def extract(self, *, drop_tol: float = 0.0) -> FactorResult:
         """Assemble scalar CSC factors; entries with ``|v| <= drop_tol`` in
-        padded positions are dropped (0.0 keeps everything nonzero)."""
+        padded positions are dropped (0.0 keeps everything nonzero).
+
+        Assembly is whole-block vectorized (one ``nonzero`` scan per block
+        instead of per-column Python loops); the COO builder sorts by
+        (column, row), so the result is independent of emission order.
+        """
         if len(self.sub_rows) != self.bp.n_blocks:
             missing = self.bp.n_blocks - len(self.sub_rows)
             raise SchedulingError(f"{missing} block columns were never factored")
@@ -392,18 +401,20 @@ class LUFactorization:
         ub = COOBuilder(n, n)
         starts = self.data.starts
         l_labels = self._final_l_labels()
+        # Unit diagonal of L, all columns at once.
+        diag = np.arange(n, dtype=np.int64)
+        lb.extend(diag, diag, np.ones(n, dtype=np.float64))
         for k in range(self.bp.n_blocks):
             w = self.data.width(k)
+            gcol0 = int(starts[k])
             panel = self.data.sub_panel(k)
             rows_final = l_labels[k]
-            for c in range(w):
-                gcol = int(starts[k]) + c
-                lb.add(gcol, gcol, 1.0)
-                col = panel[c + 1 :, c]
-                rows = rows_final[c + 1 :]
-                nz = np.abs(col) > drop_tol
-                if np.any(nz):
-                    lb.extend(rows[nz], np.full(int(nz.sum()), gcol), col[nz])
+            # L: the strictly-below-diagonal part of the candidate panel.
+            rr, cc = np.nonzero(np.abs(panel) > drop_tol)
+            keep = rr > cc
+            if np.any(keep):
+                rk, ck = rr[keep], cc[keep]
+                lb.extend(rows_final[rk], gcol0 + ck, panel[rk, ck])
             # U: upper blocks of column k plus the diagonal block's upper part.
             panel_full = self.data.panels[k]
             for bi, b in enumerate(self.data.col_blocks[k]):
@@ -413,21 +424,14 @@ class LUFactorization:
                 off = int(self.data.col_offsets[k][bi])
                 h = int(starts[b + 1] - starts[b])
                 block = panel_full[off : off + h, :]
-                for c in range(w):
-                    gcol = int(starts[k]) + c
-                    if b < k:
-                        rows = np.arange(starts[b], starts[b] + h)
-                        vals = block[:, c]
-                    else:  # diagonal block: keep the upper triangle
-                        rows = np.arange(starts[b], starts[b] + c + 1)
-                        vals = block[: c + 1, c]
-                    nz = np.abs(vals) > drop_tol
-                    # The diagonal entry must always be kept.
-                    if b == k:
-                        nz = nz.copy()
-                        nz[c] = True
-                    if np.any(nz):
-                        ub.extend(rows[nz], np.full(int(nz.sum()), gcol), vals[nz])
+                if b < k:
+                    rr, cc = np.nonzero(np.abs(block) > drop_tol)
+                else:  # diagonal block: keep the upper triangle, diag forced
+                    nz = np.triu(np.abs(block) > drop_tol)
+                    np.fill_diagonal(nz, True)
+                    rr, cc = np.nonzero(nz)
+                if rr.size:
+                    ub.extend(int(starts[b]) + rr, gcol0 + cc, block[rr, cc])
         return FactorResult(
             l_factor=lb.to_csc(),
             u_factor=ub.to_csc(),

@@ -38,10 +38,14 @@ class Equilibration:
         return out
 
     def scale_rhs(self, b: np.ndarray) -> np.ndarray:
-        return np.asarray(b, dtype=np.float64) * self.row_scale
+        b = np.asarray(b, dtype=np.float64)
+        scale = self.row_scale if b.ndim == 1 else self.row_scale[:, None]
+        return b * scale
 
     def unscale_solution(self, y: np.ndarray) -> np.ndarray:
-        return np.asarray(y, dtype=np.float64) * self.col_scale
+        y = np.asarray(y, dtype=np.float64)
+        scale = self.col_scale if y.ndim == 1 else self.col_scale[:, None]
+        return y * scale
 
     @property
     def amplification(self) -> float:

@@ -11,15 +11,23 @@ entry point the examples and benchmarks use:
 >>> solver = SparseLUSolver(a).analyze().factorize()
 >>> import numpy as np
 >>> x = solver.solve(np.ones(a.n_cols))
+
+The symbolic half is also exposed as the standalone
+:func:`run_symbolic_pipeline` (pattern in, :class:`SymbolicArtifacts` out) —
+the paper's static-analysis property means those artifacts depend only on
+the sparsity pattern, which is what :mod:`repro.serve` exploits to cache
+and reuse them across numeric refactorizations.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.numeric.blockdata import BlockLayout
 from repro.numeric.factor import FactorResult, LUFactorization
 from repro.obs.trace import Tracer
 from repro.ordering.mindeg import minimum_degree_ata
@@ -40,6 +48,23 @@ from repro.taskgraph.dag import TaskGraph
 from repro.taskgraph.eforest_graph import build_eforest_graph
 from repro.taskgraph.sstar import build_sstar_graph
 from repro.util.errors import ReproError, ShapeError
+
+#: One-shot flag behind the deprecated ``timings`` alias: the warning fires
+#: once per process, not once per access (PR-2 satellite fix).
+_TIMINGS_WARNED = False
+
+
+def _warn_timings_deprecated() -> None:
+    global _TIMINGS_WARNED
+    if _TIMINGS_WARNED:
+        return
+    _TIMINGS_WARNED = True
+    warnings.warn(
+        "SparseLUSolver.timings is deprecated; read solver.tracer "
+        "(Tracer.stage_seconds() gives the same mapping)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -78,6 +103,25 @@ class SolverOptions:
         if self.task_graph not in ("eforest", "sstar"):
             raise ValueError(f"unknown task graph {self.task_graph!r}")
 
+    def symbolic_key(self) -> tuple:
+        """Hashable tuple of every option the symbolic phase consumes.
+
+        Two matrices with equal patterns and equal symbolic keys produce
+        identical :class:`SymbolicArtifacts` — the cache key contract of
+        :class:`repro.serve.PlanCache`. ``equilibrate`` is included even
+        though it only scales values, so a cached plan also pins down the
+        numeric pre-processing it was built to pair with.
+        """
+        return (
+            self.ordering,
+            self.postorder,
+            self.amalgamation,
+            float(self.max_padding),
+            int(self.max_supernode),
+            self.task_graph,
+            self.equilibrate,
+        )
+
 
 @dataclass
 class AnalysisStats:
@@ -95,13 +139,117 @@ class AnalysisStats:
     n_edges: int
 
 
+@dataclass
+class SymbolicArtifacts:
+    """Everything the symbolic phase produces for one sparsity pattern.
+
+    Depends only on (pattern, symbolic options) — Theorem 3's postorder
+    invariance is what makes the whole bundle reusable across numeric
+    factorizations. Treat instances as immutable once constructed.
+    """
+
+    row_perm: np.ndarray
+    col_perm: np.ndarray
+    fill: StaticFill
+    partition_raw: SupernodePartition
+    partition: SupernodePartition
+    bp: BlockPattern
+    graph: TaskGraph
+    n_btf_blocks: int
+
+
+def run_symbolic_pipeline(
+    pattern: CSCMatrix,
+    options: Optional[SolverOptions] = None,
+    tracer: Optional[Tracer] = None,
+) -> SymbolicArtifacts:
+    """Steps (1)-(2) plus §3 postordering/supernodes and the §4 graph.
+
+    Pure pattern analysis: ``pattern`` may be pattern-only (values, if
+    present, are ignored). Every stage runs inside a tracer span
+    (``transversal`` … ``task_graph``, hierarchy in docs/observability.md)
+    carrying the symbolic statistics as attributes.
+    """
+    opts = options or SolverOptions()
+    tr = tracer if tracer is not None else Tracer(enabled=False)
+    n = pattern.n_cols
+    work = pattern.pattern_only()
+
+    with tr.span("transversal"):
+        row_perm = zero_free_diagonal_permutation(work)
+        work = permute(work, row_perm=row_perm)
+    col_perm = np.arange(n, dtype=np.int64)
+
+    with tr.span("ordering", method=opts.ordering):
+        if opts.ordering == "mindeg":
+            q = minimum_degree_ata(work)
+        elif opts.ordering == "rcm":
+            q = reverse_cuthill_mckee(work)
+        else:
+            q = np.arange(n, dtype=np.int64)
+    work = permute(work, row_perm=q, col_perm=q)
+    row_perm = q[row_perm]
+    col_perm = q[col_perm]
+
+    with tr.span("static_fill") as s:
+        fill = static_symbolic_factorization(work)
+        s.set(nnz_filled=fill.nnz, fill_ratio=fill.fill_ratio)
+
+    n_btf_blocks = 0
+    with tr.span("postorder", enabled=opts.postorder) as s:
+        if opts.postorder:
+            po = postorder_pipeline(fill)
+            row_perm = po.perm[row_perm]
+            col_perm = po.perm[col_perm]
+            fill = po.fill
+            n_btf_blocks = len(po.blocks)
+            s.set(n_btf_blocks=n_btf_blocks)
+
+    with tr.span("supernodes", amalgamation=opts.amalgamation) as s:
+        part_raw = supernode_partition(fill)
+        if opts.amalgamation:
+            part = amalgamate(
+                fill,
+                part_raw,
+                max_padding=opts.max_padding,
+                max_size=opts.max_supernode,
+            )
+        else:
+            part = part_raw
+        bp = block_pattern(fill, part)
+        s.set(
+            n_supernodes_raw=part_raw.n_supernodes,
+            n_supernodes=part.n_supernodes,
+            mean_supernode_size=part.mean_size(),
+        )
+
+    with tr.span("task_graph", kind=opts.task_graph) as s:
+        if opts.task_graph == "eforest":
+            graph = build_eforest_graph(bp)
+        else:
+            graph = build_sstar_graph(bp)
+        s.set(n_tasks=graph.n_tasks, n_edges=graph.n_edges)
+
+    return SymbolicArtifacts(
+        row_perm=row_perm,
+        col_perm=col_perm,
+        fill=fill,
+        partition_raw=part_raw,
+        partition=part,
+        bp=bp,
+        graph=graph,
+        n_btf_blocks=n_btf_blocks,
+    )
+
+
 class SparseLUSolver:
     """One-stop solver for ``A x = b`` by the paper's parallel sparse LU.
 
     Call :meth:`analyze` (symbolic pipeline), then :meth:`factorize`
     (numeric), then :meth:`solve`. Intermediate artefacts (static fill,
     partition, block pattern, task graph) stay accessible for the
-    benchmarks and the parallel executors.
+    benchmarks and the parallel executors. :meth:`adopt_plan` replaces
+    :meth:`analyze` with a cached :class:`repro.serve.SymbolicPlan`.
     """
 
     def __init__(
@@ -124,7 +272,7 @@ class SparseLUSolver:
         # fine-grained detail: per-kernel counters/histograms in the
         # numeric engine and the machine-model schedule projection.
         self.tracer = tracer if tracer is not None else Tracer(detail=bool(trace))
-        # Populated by analyze():
+        # Populated by analyze() / adopt_plan():
         self.row_perm: Optional[np.ndarray] = None
         self.col_perm: Optional[np.ndarray] = None
         self.a_work: Optional[CSCMatrix] = None
@@ -135,6 +283,7 @@ class SparseLUSolver:
         self.graph: Optional[TaskGraph] = None
         self.n_btf_blocks: int = 0
         self.equil = None  # set by analyze() when options.equilibrate
+        self._layout: Optional[BlockLayout] = None  # shared across refactorizations
         # Populated by factorize():
         self.result: Optional[FactorResult] = None
 
@@ -147,8 +296,40 @@ class SparseLUSolver:
         ``factorize``, ...). Prefer ``self.tracer`` — spans carry nesting
         and attributes this flat view drops. Values accumulate across
         repeated calls (e.g. several ``refactorize()`` rounds).
+
+        Emits a :class:`DeprecationWarning` once per process.
         """
+        _warn_timings_deprecated()
         return self.tracer.stage_seconds()
+
+    # ------------------------------------------------------------------
+    def _adopt_artifacts(self, art: SymbolicArtifacts) -> None:
+        self.row_perm = art.row_perm
+        self.col_perm = art.col_perm
+        self.fill = art.fill
+        self.partition_raw = art.partition_raw
+        self.partition = art.partition
+        self.bp = art.bp
+        self.graph = art.graph
+        self.n_btf_blocks = art.n_btf_blocks
+        self._layout = None
+
+    def _prepare_source(self, a: CSCMatrix) -> CSCMatrix:
+        """Apply (and record) equilibration when the options ask for it."""
+        if not self.options.equilibrate:
+            self.equil = None
+            return a
+        from repro.numeric.scaling import equilibrate
+
+        with self.tracer.span("equilibrate"):
+            self.equil = equilibrate(a)
+            return self.equil.apply(a)
+
+    def _ensure_layout(self) -> BlockLayout:
+        if self._layout is None:
+            assert self.bp is not None
+            self._layout = BlockLayout(self.bp)
+        return self._layout
 
     # ------------------------------------------------------------------
     def analyze(self) -> "SparseLUSolver":
@@ -158,87 +339,56 @@ class SparseLUSolver:
         (hierarchy documented in docs/observability.md); the spans carry
         the symbolic statistics as attributes.
         """
-        opts = self.options
-        n = self.a.n_cols
         tr = self.tracer
-
-        with tr.span("analyze", n=n, nnz=self.a.nnz) as analyze_span:
-            source = self.a
-            if opts.equilibrate:
-                from repro.numeric.scaling import equilibrate
-
-                with tr.span("equilibrate"):
-                    self.equil = equilibrate(self.a)
-                    source = self.equil.apply(self.a)
-
-            with tr.span("transversal"):
-                row_perm = zero_free_diagonal_permutation(source)
-                work = permute(source, row_perm=row_perm)
-            col_perm = np.arange(n, dtype=np.int64)
-
-            with tr.span("ordering", method=opts.ordering):
-                if opts.ordering == "mindeg":
-                    q = minimum_degree_ata(work)
-                elif opts.ordering == "rcm":
-                    q = reverse_cuthill_mckee(work)
-                else:
-                    q = np.arange(n, dtype=np.int64)
-            work = permute(work, row_perm=q, col_perm=q)
-            row_perm = q[row_perm]
-            col_perm = q[col_perm]
-
-            with tr.span("static_fill") as s:
-                fill = static_symbolic_factorization(work)
-                s.set(nnz_filled=fill.nnz, fill_ratio=fill.fill_ratio)
-
-            with tr.span("postorder", enabled=opts.postorder) as s:
-                if opts.postorder:
-                    po = postorder_pipeline(fill)
-                    work = permute(work, row_perm=po.perm, col_perm=po.perm)
-                    row_perm = po.perm[row_perm]
-                    col_perm = po.perm[col_perm]
-                    fill = po.fill
-                    self.n_btf_blocks = len(po.blocks)
-                    s.set(n_btf_blocks=self.n_btf_blocks)
-                else:
-                    self.n_btf_blocks = 0
-
-            with tr.span("supernodes", amalgamation=opts.amalgamation) as s:
-                part_raw = supernode_partition(fill)
-                if opts.amalgamation:
-                    part = amalgamate(
-                        fill,
-                        part_raw,
-                        max_padding=opts.max_padding,
-                        max_size=opts.max_supernode,
-                    )
-                else:
-                    part = part_raw
-                bp = block_pattern(fill, part)
-                s.set(
-                    n_supernodes_raw=part_raw.n_supernodes,
-                    n_supernodes=part.n_supernodes,
-                    mean_supernode_size=part.mean_size(),
-                )
-
-            with tr.span("task_graph", kind=opts.task_graph) as s:
-                if opts.task_graph == "eforest":
-                    graph = build_eforest_graph(bp)
-                else:
-                    graph = build_sstar_graph(bp)
-                s.set(n_tasks=graph.n_tasks, n_edges=graph.n_edges)
-
-            analyze_span.set(nnz_filled=fill.nnz, fill_ratio=fill.fill_ratio)
-
-        self.row_perm = row_perm
-        self.col_perm = col_perm
-        self.a_work = work
-        self.fill = fill
-        self.partition_raw = part_raw
-        self.partition = part
-        self.bp = bp
-        self.graph = graph
+        with tr.span("analyze", n=self.a.n_cols, nnz=self.a.nnz) as analyze_span:
+            source = self._prepare_source(self.a)
+            art = run_symbolic_pipeline(source.pattern_only(), self.options, tr)
+            self._adopt_artifacts(art)
+            self.a_work = permute(
+                source, row_perm=self.row_perm, col_perm=self.col_perm
+            )
+            analyze_span.set(
+                nnz_filled=art.fill.nnz, fill_ratio=art.fill.fill_ratio
+            )
         return self
+
+    def adopt_plan(self, plan) -> "SparseLUSolver":
+        """Adopt a prebuilt :class:`repro.serve.SymbolicPlan` instead of
+        running :meth:`analyze`.
+
+        The plan's pattern must equal this matrix's pattern (verified
+        entry-for-entry, not just by fingerprint). The solver takes over
+        the plan's options, so numeric pre-processing (equilibration)
+        matches what the plan was built for. No symbolic-stage span is
+        opened — this is the warm path of the serving subsystem.
+        """
+        from repro.util.errors import PlanMismatchError
+
+        if not plan.matches(self.a):
+            raise PlanMismatchError(
+                "plan was built for a different sparsity pattern "
+                f"({plan.fingerprint} vs this {self.a.n_rows}x{self.a.n_cols} "
+                f"matrix with nnz={self.a.nnz})"
+            )
+        self.options = plan.options
+        tr = self.tracer
+        with tr.span("adopt_plan", fingerprint=plan.fingerprint.digest):
+            self._adopt_artifacts(plan.artifacts)
+            self._layout = plan.layout
+            source = self._prepare_source(self.a)
+            self.a_work = permute(
+                source, row_perm=self.row_perm, col_perm=self.col_perm
+            )
+        return self
+
+    def plan(self):
+        """Freeze this solver's symbolic analysis as a shareable
+        :class:`repro.serve.SymbolicPlan` (requires :meth:`analyze`)."""
+        from repro.serve.plan import plan_from_solver
+
+        if self.bp is None:
+            raise ReproError("call analyze() first")
+        return plan_from_solver(self)
 
     def stats(self) -> AnalysisStats:
         if self.fill is None or self.bp is None or self.graph is None:
@@ -275,7 +425,10 @@ class SparseLUSolver:
         tr = self.tracer
         with tr.span("factorize") as s:
             engine = LUFactorization(
-                self.a_work, self.bp, metrics=tr.metrics if tr.detail else None
+                self.a_work,
+                self.bp,
+                metrics=tr.metrics if tr.detail else None,
+                layout=self._ensure_layout(),
             )
             if order is None:
                 engine.factor_sequential()
@@ -320,7 +473,8 @@ class SparseLUSolver:
         of a reservoir simulation, time steps of a transient solve — pays
         for ``analyze()`` once and calls this per step. ``a_new`` must have
         exactly the pattern of the original matrix (values free, pivoting
-        handled anew).
+        handled anew). The block layout from the first factorization is
+        reused, so this path runs no symbolic or structural work at all.
         """
         from repro.sparse.pattern import pattern_equal
 
@@ -334,19 +488,17 @@ class SparseLUSolver:
         if not a_new.has_values:
             raise ShapeError("refactorize() requires values")
         self.a = a_new
-        source = a_new
-        if self.equil is not None:
-            from repro.numeric.scaling import equilibrate
-
-            self.equil = equilibrate(a_new)
-            source = self.equil.apply(a_new)
         tr = self.tracer
         with tr.span("refactorize"):
+            source = self._prepare_source(a_new)
             self.a_work = permute(
                 source, row_perm=self.row_perm, col_perm=self.col_perm
             )
             engine = LUFactorization(
-                self.a_work, self.bp, metrics=tr.metrics if tr.detail else None
+                self.a_work,
+                self.bp,
+                metrics=tr.metrics if tr.detail else None,
+                layout=self._ensure_layout(),
             )
             if order is None:
                 engine.factor_sequential()
@@ -356,14 +508,21 @@ class SparseLUSolver:
         return self
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` using the computed factors (step (4))."""
+        """Solve ``A x = b`` using the computed factors (step (4)).
+
+        ``b`` may be a vector of shape ``(n,)`` or a matrix of ``k``
+        right-hand sides of shape ``(n, k)``; the triangular solves are
+        blocked over all columns at once (no per-column Python loop), which
+        is what the serving layer's request batching relies on.
+        """
         if self.result is None:
             raise ReproError("call factorize() first")
         assert self.row_perm is not None and self.col_perm is not None
         b = np.asarray(b, dtype=np.float64)
-        if b.shape != (self.a.n_cols,):
-            raise ShapeError(f"rhs has shape {b.shape}, expected ({self.a.n_cols},)")
-        with self.tracer.span("solve"):
+        n = self.a.n_cols
+        if b.ndim not in (1, 2) or b.shape[0] != n:
+            raise ShapeError(f"rhs has shape {b.shape}, expected ({n},) or ({n}, k)")
+        with self.tracer.span("solve", n_rhs=1 if b.ndim == 1 else b.shape[1]):
             if self.equil is not None:
                 b = self.equil.scale_rhs(b)
             b_work = np.empty_like(b)

@@ -1,0 +1,145 @@
+"""Size-bounded LRU cache of symbolic plans.
+
+The paper's economics in one data structure: symbolic analysis is the
+expensive, pattern-pure half of the pipeline, so a server keyed on
+:class:`~repro.serve.fingerprint.PatternFingerprint` pays it once per
+distinct pattern and amortizes it over every numeric refactorization that
+follows. The cache is strictly bounded (LRU eviction) and feeds hit/miss/
+eviction/collision counters plus a size gauge into a
+:class:`~repro.obs.metrics.MetricsRegistry` so the serve benchmarks can
+report cache efficiency through the standard telemetry schema.
+
+Thread-safety: lookups and insertions hold an internal lock;
+**plan construction does not**. Two threads racing on the same cold
+pattern may both build the plan — wasted work, never a wrong result, and
+the second insert is dropped in favor of the first (plans for equal
+patterns and options are interchangeable).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.numeric.solver import SolverOptions
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.fingerprint import fingerprint
+from repro.serve.plan import SymbolicPlan, build_plan
+from repro.sparse.csc import CSCMatrix
+
+
+class PlanCache:
+    """LRU-bounded map from (pattern fingerprint, symbolic options) to plans.
+
+    Parameters
+    ----------
+    max_entries:
+        Hard capacity; inserting beyond it evicts the least recently used
+        plan. Must be >= 1.
+    metrics:
+        Registry receiving ``plan_cache.{hits,misses,evictions,collisions}``
+        counters and the ``plan_cache.size`` gauge. A private registry is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[tuple, SymbolicPlan]" = OrderedDict()
+        self._hits = self.metrics.counter("plan_cache.hits")
+        self._misses = self.metrics.counter("plan_cache.misses")
+        self._evictions = self.metrics.counter("plan_cache.evictions")
+        self._collisions = self.metrics.counter("plan_cache.collisions")
+        self._size = self.metrics.gauge("plan_cache.size")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(a: CSCMatrix, options: SolverOptions) -> tuple:
+        return (fingerprint(a).key, options.symbolic_key())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def get(self, a: CSCMatrix, options: Optional[SolverOptions] = None):
+        """The cached plan for ``a``'s pattern, or ``None`` (counted miss).
+
+        A digest hit whose stored pattern does not verify entry-for-entry
+        against ``a`` counts as a *collision* and is treated as a miss —
+        fingerprints gate the lookup, full comparison gates correctness.
+        """
+        opts = options or SolverOptions()
+        key = self._key(a, opts)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                if plan.matches(a):
+                    self._plans.move_to_end(key)
+                    self._hits.inc()
+                    return plan
+                self._collisions.inc()
+            self._misses.inc()
+            return None
+
+    def put(self, plan: SymbolicPlan) -> None:
+        """Insert (or refresh) a plan; evicts LRU entries beyond capacity.
+
+        A plan already present for the same key wins — concurrent builders
+        of the same pattern do not churn the cache.
+        """
+        key = (plan.fingerprint.key, plan.options.symbolic_key())
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+            else:
+                self._plans[key] = plan
+                while len(self._plans) > self.max_entries:
+                    self._plans.popitem(last=False)
+                    self._evictions.inc()
+            self._size.set(len(self._plans))
+
+    def get_or_build(
+        self, a: CSCMatrix, options: Optional[SolverOptions] = None, *, tracer=None
+    ) -> SymbolicPlan:
+        """Return the cached plan for ``a``, building and inserting on miss.
+
+        The build runs outside the lock (it can take seconds); a race on a
+        cold pattern at worst builds the plan twice.
+        """
+        opts = options or SolverOptions()
+        plan = self.get(a, opts)
+        if plan is not None:
+            return plan
+        plan = build_plan(a, opts, tracer=tracer)
+        self.put(plan)
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._size.set(0)
+
+    def stats(self) -> dict:
+        """Point-in-time counter snapshot (plain numbers, for reports)."""
+        with self._lock:
+            hits = int(self._hits.value)
+            misses = int(self._misses.value)
+            total = hits + misses
+            return {
+                "entries": len(self._plans),
+                "max_entries": self.max_entries,
+                "hits": hits,
+                "misses": misses,
+                "evictions": int(self._evictions.value),
+                "collisions": int(self._collisions.value),
+                "hit_rate": hits / total if total else 0.0,
+            }

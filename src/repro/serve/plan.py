@@ -1,0 +1,181 @@
+"""Frozen, shareable symbolic plans.
+
+A :class:`SymbolicPlan` freezes one run of the paper's static analysis —
+fill pattern of ``Ā``, composed row/column permutations (transversal +
+ordering + §3 postorder), supernode partition, block pattern, §4 task
+graph, and the numeric engine's :class:`~repro.numeric.blockdata.BlockLayout`
+— keyed by the :class:`~repro.serve.fingerprint.PatternFingerprint` of the
+pattern it was built from.
+
+Theorem 3 (postordering leaves the static structure invariant) is what
+makes the bundle a pure function of (pattern, symbolic options): any two
+matrices with the same pattern share it, so a plan built once can drive
+arbitrarily many numeric refactorizations, concurrently. To keep that
+safe, the plan stores its *own* read-only copies of the pattern arrays and
+never exposes anything a numeric phase mutates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.numeric.blockdata import BlockLayout
+from repro.numeric.solver import (
+    SolverOptions,
+    SymbolicArtifacts,
+    run_symbolic_pipeline,
+)
+from repro.obs.trace import Tracer
+from repro.serve.fingerprint import PatternFingerprint, fingerprint
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.static_fill import StaticFill
+from repro.symbolic.supernodes import BlockPattern, SupernodePartition
+from repro.taskgraph.dag import TaskGraph
+
+
+def _frozen_copy(arr: np.ndarray, dtype) -> np.ndarray:
+    out = np.ascontiguousarray(arr, dtype=dtype).copy()
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class SymbolicPlan:
+    """One pattern's static analysis, frozen for sharing.
+
+    Instances are immutable and safe to share across threads: the numeric
+    phase only ever *reads* the plan (permutations, block pattern, layout)
+    and allocates its own value panels. Build via :func:`build_plan` or
+    :meth:`SparseLUSolver.plan`.
+    """
+
+    fingerprint: PatternFingerprint
+    options: SolverOptions
+    indptr: np.ndarray  # read-only copy of the source pattern, for
+    indices: np.ndarray  # entry-for-entry verification on cache hits
+    artifacts: SymbolicArtifacts
+    layout: BlockLayout
+
+    # ---- convenience views over the artifact bundle -------------------
+    @property
+    def row_perm(self) -> np.ndarray:
+        return self.artifacts.row_perm
+
+    @property
+    def col_perm(self) -> np.ndarray:
+        return self.artifacts.col_perm
+
+    @property
+    def fill(self) -> StaticFill:
+        return self.artifacts.fill
+
+    @property
+    def partition(self) -> SupernodePartition:
+        return self.artifacts.partition
+
+    @property
+    def bp(self) -> BlockPattern:
+        return self.artifacts.bp
+
+    @property
+    def graph(self) -> TaskGraph:
+        return self.artifacts.graph
+
+    @property
+    def n(self) -> int:
+        return self.fingerprint.n_cols
+
+    @property
+    def nnz(self) -> int:
+        return self.fingerprint.nnz
+
+    @property
+    def nnz_filled(self) -> int:
+        return self.artifacts.fill.nnz
+
+    def matches(self, a: CSCMatrix) -> bool:
+        """Entry-for-entry pattern check — the collision-safe gate.
+
+        Cheap rejections first (dims, nnz: O(1)), then the full index
+        arrays. A digest collision therefore cannot produce a structurally
+        wrong factorization, only a cache miss.
+        """
+        fp = self.fingerprint
+        if (a.n_rows, a.n_cols, a.nnz) != (fp.n_rows, fp.n_cols, fp.nnz):
+            return False
+        return bool(
+            np.array_equal(self.indptr, a.indptr)
+            and np.array_equal(self.indices, a.indices)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"SymbolicPlan({self.fingerprint}, "
+            f"nnz_filled={self.nnz_filled}, "
+            f"n_blocks={self.bp.n_blocks}, n_tasks={self.graph.n_tasks})"
+        )
+
+
+def _assemble(
+    a: CSCMatrix, options: SolverOptions, art: SymbolicArtifacts
+) -> SymbolicPlan:
+    return SymbolicPlan(
+        fingerprint=fingerprint(a),
+        options=dataclasses.replace(options),
+        indptr=_frozen_copy(a.indptr, np.int64),
+        indices=_frozen_copy(a.indices, np.int32),
+        artifacts=art,
+        layout=BlockLayout(art.bp),
+    )
+
+
+def build_plan(
+    a: CSCMatrix,
+    options: Optional[SolverOptions] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+) -> SymbolicPlan:
+    """Run the symbolic pipeline on ``a``'s pattern and freeze the result.
+
+    ``a`` may be pattern-only. When ``tracer`` is given, the symbolic
+    stages record their usual spans (``transversal`` … ``task_graph``)
+    under a ``build_plan`` parent.
+    """
+    opts = options or SolverOptions()
+    tr = tracer if tracer is not None else Tracer(enabled=False)
+    with tr.span("build_plan", n=a.n_cols, nnz=a.nnz):
+        art = run_symbolic_pipeline(a.pattern_only(), opts, tr)
+    return _assemble(a, opts, art)
+
+
+def plan_from_solver(solver) -> SymbolicPlan:
+    """Freeze an already-analyzed :class:`SparseLUSolver`'s symbolic state.
+
+    Reuses the solver's artifacts (and its block layout, if one was built)
+    instead of re-running the analysis.
+    """
+    if solver.bp is None:
+        raise ValueError("solver has no analysis; call analyze() first")
+    art = SymbolicArtifacts(
+        row_perm=solver.row_perm,
+        col_perm=solver.col_perm,
+        fill=solver.fill,
+        partition_raw=solver.partition_raw,
+        partition=solver.partition,
+        bp=solver.bp,
+        graph=solver.graph,
+        n_btf_blocks=solver.n_btf_blocks,
+    )
+    plan = SymbolicPlan(
+        fingerprint=fingerprint(solver.a),
+        options=dataclasses.replace(solver.options),
+        indptr=_frozen_copy(solver.a.indptr, np.int64),
+        indices=_frozen_copy(solver.a.indices, np.int32),
+        artifacts=art,
+        layout=solver._ensure_layout(),
+    )
+    return plan

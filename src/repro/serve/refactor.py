@@ -1,0 +1,116 @@
+"""Numeric refactorization against a cached symbolic plan.
+
+The warm path of the serving subsystem: given a :class:`SymbolicPlan` and a
+matrix carrying *new values on the plan's pattern*, run only the numeric
+phase — value permutation, panel scatter, supernodal elimination, factor
+extraction — and return a self-contained :class:`NumericFactorization`.
+No ordering, fill, postorder, supernode, or task-graph work happens here;
+the ``refactor`` tracer span contains no symbolic child span, which the
+test suite pins as the subsystem's core guarantee.
+
+Because the plan (including its :class:`~repro.numeric.blockdata.BlockLayout`)
+is immutable, any number of refactorizations may run concurrently against
+the same plan; each allocates its own value panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.numeric.factor import FactorResult, LUFactorization
+from repro.obs.trace import Tracer
+from repro.serve.plan import SymbolicPlan
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import matvec, permute
+from repro.util.errors import PlanMismatchError, ShapeError
+
+
+@dataclass
+class NumericFactorization:
+    """Factors of one value assignment, bound to the plan that produced them.
+
+    Self-contained for solving: carries the composed permutations and the
+    equilibration (when the plan's options ask for it), so :meth:`solve`
+    needs nothing but a right-hand side.
+    """
+
+    plan: SymbolicPlan
+    a: CSCMatrix
+    result: FactorResult
+    equil: object = None  # Equilibration | None
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for a vector ``(n,)`` or multi-RHS ``(n, k)``.
+
+        Multi-RHS solves are blocked: one pass over each triangular factor
+        covers all columns — the kernel the service's request batching
+        relies on.
+        """
+        n = self.plan.n
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim not in (1, 2) or b.shape[0] != n:
+            raise ShapeError(f"rhs has shape {b.shape}, expected ({n},) or ({n}, k)")
+        if self.equil is not None:
+            b = self.equil.scale_rhs(b)
+        b_work = np.empty_like(b)
+        b_work[self.plan.row_perm] = b
+        x_work = self.result.solve(b_work)
+        x = x_work[self.plan.col_perm]
+        if self.equil is not None:
+            x = self.equil.unscale_solution(x)
+        return x
+
+    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
+        """``‖A x − b‖_∞ / ‖b‖_∞`` against the *original* (unscaled) system."""
+        b = np.asarray(b, dtype=np.float64)
+        r = matvec(self.a, x) - b
+        denom = float(np.max(np.abs(b))) or 1.0
+        return float(np.max(np.abs(r))) / denom
+
+
+def refactorize_with_plan(
+    plan: SymbolicPlan,
+    a: CSCMatrix,
+    *,
+    tracer: Optional[Tracer] = None,
+    check_pattern: bool = True,
+) -> NumericFactorization:
+    """Numerically factorize ``a`` using ``plan``'s static analysis.
+
+    ``a`` must carry values on exactly the plan's pattern (verified
+    entry-for-entry unless ``check_pattern=False``, for callers that
+    already verified — e.g. a cache hit in the same call chain). Deferred
+    pivoting still runs: the static structure of ``Ā`` covers every pivot
+    choice the S+ discipline can make, so new values never need new
+    symbolic work (the paper's Theorem 3 argument).
+    """
+    if not a.has_values:
+        raise ShapeError("refactorize_with_plan() requires matrix values")
+    if check_pattern and not plan.matches(a):
+        raise PlanMismatchError(
+            f"matrix pattern ({a.n_rows}x{a.n_cols}, nnz={a.nnz}) does not "
+            f"match the plan's ({plan.fingerprint})"
+        )
+    tr = tracer if tracer is not None else Tracer(enabled=False)
+    with tr.span("refactor", n=plan.n, nnz=plan.nnz) as s:
+        equil = None
+        source = a
+        if plan.options.equilibrate:
+            from repro.numeric.scaling import equilibrate
+
+            equil = equilibrate(a)
+            source = equil.apply(a)
+        a_work = permute(source, row_perm=plan.row_perm, col_perm=plan.col_perm)
+        engine = LUFactorization(
+            a_work,
+            plan.bp,
+            metrics=tr.metrics if tr.detail else None,
+            layout=plan.layout,
+        )
+        engine.factor_sequential()
+        result = engine.extract()
+        s.set(n_tasks=len(engine.done))
+    return NumericFactorization(plan=plan, a=a, result=result, equil=equil)

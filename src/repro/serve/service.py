@@ -1,0 +1,427 @@
+"""A long-lived, batching solver service over the plan cache.
+
+:class:`SolverService` is the serving shape the ROADMAP's north star asks
+for: a worker pool that accepts ``solve(A, b)`` requests, amortizes the
+paper's static symbolic analysis through a shared :class:`PlanCache`, and
+applies three classic serving disciplines:
+
+* **backpressure** — the request queue is strictly bounded; a submit
+  beyond capacity is rejected immediately with
+  :class:`~repro.util.errors.ServiceOverloadedError` (the caller decides
+  whether to retry, shed, or block — the service never buffers unboundedly);
+* **deadlines** — each request may carry a deadline; requests whose
+  deadline has passed by the time a worker picks them up are cancelled
+  with :class:`~repro.util.errors.DeadlineExceededError` without doing
+  any numeric work;
+* **batching** — queued requests for the *same matrix* (same pattern
+  fingerprint, same options, same value digest) are grouped: one numeric
+  refactorization plus one blocked multi-RHS triangular solve serves the
+  whole group, which is exactly where the multi-column RHS support in the
+  triangular kernels pays off.
+
+Set ``n_workers=0`` for a deterministic, single-threaded service driven by
+:meth:`SolverService.process_once` — the mode the tests use to pin queue
+and deadline semantics without sleeping on real threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.numeric.solver import SolverOptions
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.serve.cache import PlanCache
+from repro.serve.fingerprint import fingerprint, values_digest
+from repro.serve.refactor import refactorize_with_plan
+from repro.sparse.csc import CSCMatrix
+from repro.util.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShapeError,
+)
+
+#: Latency histogram bounds (seconds): sub-millisecond through one minute.
+LATENCY_BOUNDS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Batch-size histogram bounds (requests per factorization).
+BATCH_BOUNDS: tuple[float, ...] = (1, 2, 4, 8, 16, 32)
+
+
+class PendingResult:
+    """Future-like handle for one submitted request."""
+
+    __slots__ = ("_event", "_value", "_error", "completed_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        #: ``time.monotonic()`` at completion (set just before the event),
+        #: so benchmark drivers can compute exact per-request latencies.
+        self.completed_at: Optional[float] = None
+
+    def _set_result(self, value: np.ndarray) -> None:
+        self._value = value
+        self.completed_at = time.monotonic()
+        self._event.set()
+
+    def _set_error(self, err: BaseException) -> None:
+        self._error = err
+        self.completed_at = time.monotonic()
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the request finishes; re-raises its error if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("result not ready within timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+
+class _Request:
+    """Internal queue entry (matrix + RHS + identity + bookkeeping)."""
+
+    __slots__ = (
+        "a", "b", "batch_key", "deadline", "enqueued_at", "pending", "n_rhs",
+        "b_ndim",
+    )
+
+    def __init__(self, a, b, batch_key, deadline, enqueued_at, pending):
+        self.a = a
+        self.b = b  # always 2-D (n, k) internally
+        self.batch_key = batch_key
+        self.deadline = deadline  # absolute monotonic time or None
+        self.enqueued_at = enqueued_at
+        self.pending = pending
+        self.n_rhs = b.shape[1]
+        self.b_ndim = 1  # original ndim, restored on completion
+
+
+class SolverService:
+    """Batched, deadline-aware sparse-LU solving over cached plans.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads. ``0`` creates no threads; drive the queue manually
+        with :meth:`process_once` (deterministic test mode).
+    max_queue:
+        Queue capacity; submits beyond it raise ``ServiceOverloadedError``.
+    max_batch:
+        Most requests merged into one factorization + blocked solve.
+    cache:
+        Shared :class:`PlanCache`; one is created (with this service's
+        metrics registry) when omitted.
+    metrics:
+        Registry for the ``service.*`` instruments; shared with the
+        default-constructed cache.
+    default_deadline_s:
+        Deadline applied to requests that do not set one (``None`` = no
+        deadline).
+    options:
+        Default :class:`SolverOptions` for requests that do not override.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 2,
+        max_queue: int = 64,
+        max_batch: int = 8,
+        cache: Optional[PlanCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        default_deadline_s: Optional[float] = None,
+        options: Optional[SolverOptions] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = cache if cache is not None else PlanCache(metrics=self.metrics)
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.default_deadline_s = default_deadline_s
+        self.options = options or SolverOptions()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._pending: list[_Request] = []
+        self._closed = False
+
+        self._m_requests = self.metrics.counter("service.requests")
+        self._m_completed = self.metrics.counter("service.completed")
+        self._m_rejected = self.metrics.counter("service.rejected")
+        self._m_expired = self.metrics.counter("service.expired")
+        self._m_failed = self.metrics.counter("service.failed")
+        self._m_batches = self.metrics.counter("service.batches")
+        self._m_queue_depth = self.metrics.gauge("service.queue_depth")
+        self._h_batch = self.metrics.histogram(
+            "service.batch_size", unit="requests", bounds=BATCH_BOUNDS
+        )
+        self._h_latency = self.metrics.histogram(
+            "service.latency", unit="s", bounds=LATENCY_BOUNDS
+        )
+
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        a: CSCMatrix,
+        b: np.ndarray,
+        *,
+        options: Optional[SolverOptions] = None,
+        deadline_s: Optional[float] = None,
+    ) -> PendingResult:
+        """Enqueue ``solve(a, b)``; returns a :class:`PendingResult`.
+
+        Raises ``ServiceOverloadedError`` when the queue is at capacity and
+        ``ServiceClosedError`` after :meth:`close` — both *synchronously*,
+        so the caller always learns immediately whether the request was
+        accepted.
+        """
+        opts = options or self.options
+        if not a.is_square or not a.has_values:
+            raise ShapeError("service requires a square matrix with values")
+        b = np.asarray(b, dtype=np.float64)
+        orig_ndim = b.ndim
+        if b.ndim == 1:
+            b = b[:, None]
+        if b.ndim != 2 or b.shape[0] != a.n_cols:
+            raise ShapeError(
+                f"rhs has shape {np.shape(b)}, expected ({a.n_cols},) or "
+                f"({a.n_cols}, k)"
+            )
+        # Identity work (hashing) happens outside the lock.
+        batch_key = (fingerprint(a).key, opts.symbolic_key(), values_digest(a))
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        now = time.monotonic()
+        deadline = now + deadline_s if deadline_s is not None else None
+        pending = PendingResult()
+        req = _Request(a, b, batch_key, deadline, now, pending)
+        req.b_ndim = orig_ndim
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if len(self._pending) >= self.max_queue:
+                self._m_rejected.inc()
+                raise ServiceOverloadedError(
+                    f"queue full ({self.max_queue} pending requests); retry later"
+                )
+            self._pending.append(req)
+            self._m_requests.inc()
+            self._m_queue_depth.set(len(self._pending))
+            self._work_ready.notify()
+        return pending
+
+    def solve(
+        self,
+        a: CSCMatrix,
+        b: np.ndarray,
+        *,
+        options: Optional[SolverOptions] = None,
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Blocking convenience: :meth:`submit` + wait for the result."""
+        pending = self.submit(a, b, options=options, deadline_s=deadline_s)
+        if not self._workers:
+            while not pending.done and self.process_once():
+                pass
+        return pending.result(timeout)
+
+    # ------------------------------------------------------------------
+    def _take_batch_locked(self) -> list[_Request]:
+        """Pop the oldest request plus up to ``max_batch - 1`` batchmates.
+
+        Caller holds the lock. Requests whose deadline has already passed
+        are cancelled here — the dequeue point is the last moment lateness
+        can be detected before numeric work starts.
+        """
+        now = time.monotonic()
+        while self._pending:
+            head = self._pending.pop(0)
+            if head.deadline is not None and now > head.deadline:
+                self._m_expired.inc()
+                head.pending._set_error(
+                    DeadlineExceededError(
+                        f"deadline exceeded after {now - head.enqueued_at:.3f}s "
+                        "in queue"
+                    )
+                )
+                continue
+            batch = [head]
+            i = 0
+            while i < len(self._pending) and len(batch) < self.max_batch:
+                req = self._pending[i]
+                if req.batch_key == head.batch_key:
+                    self._pending.pop(i)
+                    if req.deadline is not None and now > req.deadline:
+                        self._m_expired.inc()
+                        req.pending._set_error(
+                            DeadlineExceededError(
+                                f"deadline exceeded after "
+                                f"{now - req.enqueued_at:.3f}s in queue"
+                            )
+                        )
+                    else:
+                        batch.append(req)
+                else:
+                    i += 1
+            self._m_queue_depth.set(len(self._pending))
+            return batch
+        self._m_queue_depth.set(0)
+        return []
+
+    def _process_batch(self, batch: list[_Request]) -> None:
+        """One factorization + one blocked solve for a same-matrix batch."""
+        head = batch[0]
+        try:
+            # Options travel inside the batch key (a hashable tuple), so
+            # equal keys really do mean one factorization serves the batch.
+            opts = self._options_from_key(head.batch_key)
+            plan = self.cache.get_or_build(head.a, opts, tracer=self.tracer)
+            fac = refactorize_with_plan(
+                plan, head.a, tracer=self.tracer, check_pattern=False
+            )
+            rhs = (
+                head.b
+                if len(batch) == 1
+                else np.hstack([req.b for req in batch])
+            )
+            x = fac.solve(rhs)
+            self._m_batches.inc()
+            self._h_batch.observe(len(batch))
+            now = time.monotonic()
+            col = 0
+            for req in batch:
+                xi = x[:, col : col + req.n_rhs]
+                col += req.n_rhs
+                if req.b_ndim == 1:
+                    xi = xi[:, 0]
+                self._h_latency.observe(now - req.enqueued_at)
+                self._m_completed.inc()
+                req.pending._set_result(np.ascontiguousarray(xi))
+        except Exception as err:  # propagate to every caller in the batch
+            for req in batch:
+                if not req.pending.done:
+                    self._m_failed.inc()
+                    req.pending._set_error(err)
+
+    def _options_from_key(self, batch_key: tuple) -> SolverOptions:
+        (ordering, postorder, amalg, padding, max_sn, graph, equil) = batch_key[1]
+        return SolverOptions(
+            ordering=ordering,
+            postorder=postorder,
+            amalgamation=amalg,
+            max_padding=padding,
+            max_supernode=max_sn,
+            task_graph=graph,
+            equilibrate=equil,
+        )
+
+    def process_once(self) -> int:
+        """Dequeue and process one batch synchronously (no worker needed).
+
+        Returns the number of requests *resolved* (completed, failed, or
+        deadline-cancelled); 0 when the queue is empty. The deterministic
+        driver for ``n_workers=0`` services.
+        """
+        with self._lock:
+            before = len(self._pending)
+            batch = self._take_batch_locked()
+            cancelled = before - len(self._pending) - len(batch)
+        if batch:
+            self._process_batch(batch)
+        return len(batch) + max(cancelled, 0)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                while not self._pending and not self._closed:
+                    self._work_ready.wait()
+                if self._closed and not self._pending:
+                    return
+                batch = self._take_batch_locked()
+            if batch:
+                self._process_batch(batch)
+
+    # ------------------------------------------------------------------
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting requests; by default let workers drain the queue.
+
+        With ``drain=False`` queued-but-unstarted requests fail with
+        ``ServiceClosedError``. Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                for req in self._pending:
+                    req.pending._set_error(ServiceClosedError("service closed"))
+                self._pending.clear()
+                self._m_queue_depth.set(0)
+            self._work_ready.notify_all()
+        for t in self._workers:
+            t.join(timeout=30.0)
+        # n_workers=0: nobody drains; fail whatever is left.
+        if not self._workers:
+            with self._lock:
+                for req in self._pending:
+                    req.pending._set_error(ServiceClosedError("service closed"))
+                self._pending.clear()
+                self._m_queue_depth.set(0)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> dict:
+        """Point-in-time service + cache counter snapshot."""
+        return {
+            "requests": int(self._m_requests.value),
+            "completed": int(self._m_completed.value),
+            "rejected": int(self._m_rejected.value),
+            "expired": int(self._m_expired.value),
+            "failed": int(self._m_failed.value),
+            "batches": int(self._m_batches.value),
+            "queue_depth": self.queue_depth,
+            "mean_batch_size": self._h_batch.mean,
+            "cache": self.cache.stats(),
+        }

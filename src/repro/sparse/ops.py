@@ -71,17 +71,22 @@ def permute(
 
 
 def matvec(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
-    """Compute ``A @ x`` column-wise."""
+    """Compute ``A @ x`` column-wise; ``x`` may be a vector or ``(n, k)``."""
     if a.data is None:
         raise PatternError("pattern-only matrix has no values")
     x = np.asarray(x, dtype=VALUE_DTYPE)
-    if x.shape != (a.n_cols,):
-        raise ShapeError(f"x has shape {x.shape}, expected ({a.n_cols},)")
-    y = np.zeros(a.n_rows, dtype=VALUE_DTYPE)
+    if x.ndim not in (1, 2) or x.shape[0] != a.n_cols:
+        raise ShapeError(
+            f"x has shape {x.shape}, expected ({a.n_cols},) or ({a.n_cols}, k)"
+        )
+    y = np.zeros((a.n_rows,) + x.shape[1:], dtype=VALUE_DTYPE)
     for j in range(a.n_cols):
         lo, hi = a.indptr[j], a.indptr[j + 1]
         if hi > lo:
-            y[a.indices[lo:hi]] += a.data[lo:hi] * x[j]
+            if x.ndim == 1:
+                y[a.indices[lo:hi]] += a.data[lo:hi] * x[j]
+            else:
+                y[a.indices[lo:hi]] += a.data[lo:hi, None] * x[j]
     return y
 
 

@@ -34,3 +34,23 @@ class SchedulingError(ReproError, ValueError):
 
 class FormatError(ReproError, ValueError):
     """A matrix file is malformed or uses an unsupported format variant."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` subsystem."""
+
+
+class PlanMismatchError(ServeError, ValueError):
+    """A cached symbolic plan was applied to a different sparsity pattern."""
+
+
+class ServiceOverloadedError(ServeError, RuntimeError):
+    """The solver service queue is full; the request was rejected (backpressure)."""
+
+
+class DeadlineExceededError(ServeError, TimeoutError):
+    """The request's deadline elapsed before a worker picked it up."""
+
+
+class ServiceClosedError(ServeError, RuntimeError):
+    """The solver service has been closed and accepts no new requests."""

@@ -1,0 +1,37 @@
+"""The deprecated ``timings`` alias warns exactly once per process."""
+
+import warnings
+
+import numpy as np
+
+import repro.numeric.solver as solver_mod
+from tests.conftest import random_pivot_matrix, solve_pipeline
+
+
+class TestTimingsDeprecationWarning:
+    def test_warns_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(solver_mod, "_TIMINGS_WARNED", False)
+        solver = solve_pipeline(random_pivot_matrix(20, 0))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")  # defeat the default dedup filter
+            _ = solver.timings
+            _ = solver.timings  # repeated access on the same solver
+            other = solve_pipeline(random_pivot_matrix(20, 1))
+            _ = other.timings  # and on a different solver
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1, [str(w.message) for w in deprecations]
+        assert "timings is deprecated" in str(deprecations[0].message)
+
+    def test_mapping_still_served(self, monkeypatch):
+        monkeypatch.setattr(solver_mod, "_TIMINGS_WARNED", True)
+        solver = solve_pipeline(random_pivot_matrix(20, 2))
+        b = np.ones(20)
+        solver.solve(b)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            t = solver.timings
+        assert not caught  # flag already tripped: silent
+        for key in ("analyze", "factorize", "solve"):
+            assert key in t and t[key] >= 0.0

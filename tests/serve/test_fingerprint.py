@@ -1,0 +1,68 @@
+"""Pattern fingerprint tests: determinism, sensitivity, value-blindness."""
+
+import numpy as np
+
+from repro.serve.fingerprint import fingerprint, values_digest
+from repro.sparse.coo import COOBuilder
+from repro.sparse.generators import paper_matrix, random_sparse
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = paper_matrix("sherman3", scale=0.05)
+        f1 = fingerprint(a)
+        f2 = fingerprint(a.copy())
+        assert f1 == f2
+        assert f1.key == f2.key
+        assert hash(f1) == hash(f2)
+
+    def test_ignores_values(self):
+        a = random_sparse(40, density=0.1, seed=0)
+        a2 = a.with_values(a.data * 3.0 + 1.0)
+        assert fingerprint(a) == fingerprint(a2)
+        assert values_digest(a) != values_digest(a2)
+
+    def test_pattern_only_matches_valued(self):
+        a = random_sparse(40, density=0.1, seed=1)
+        assert fingerprint(a) == fingerprint(a.pattern_only())
+
+    def test_different_patterns_differ(self):
+        a = random_sparse(40, density=0.1, seed=2)
+        b = random_sparse(40, density=0.1, seed=3)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_single_entry_move_changes_digest(self):
+        def build(row):
+            cb = COOBuilder(5, 5)
+            for i in range(5):
+                cb.add(i, i, 1.0)
+            cb.add(row, 2, 1.0)
+            return cb.to_csc()
+
+        fa, fb = fingerprint(build(0)), fingerprint(build(4))
+        assert fa.nnz == fb.nnz and fa.n_rows == fb.n_rows
+        assert fa.digest != fb.digest
+
+    def test_header_in_fields(self):
+        a = random_sparse(33, density=0.1, seed=4)
+        f = fingerprint(a)
+        assert (f.n_rows, f.n_cols, f.nnz) == (33, 33, a.nnz)
+        assert len(f.digest) == 32  # 16-byte blake2b, hex
+        assert "33x33" in str(f)
+
+    def test_insertion_order_irrelevant(self):
+        # COOBuilder canonicalizes (sorted columns), so the same pattern
+        # built in any order fingerprints identically.
+        entries = [(0, 0), (3, 1), (1, 1), (2, 2), (4, 3), (1, 3), (3, 3), (4, 4)]
+        diag = [(i, i) for i in range(5)]
+        all_entries = list(dict.fromkeys(entries + diag))
+
+        def build(order):
+            cb = COOBuilder(5, 5)
+            for i, j in order:
+                cb.add(i, j, 1.0)
+            return cb.to_csc()
+
+        assert fingerprint(build(all_entries)) == fingerprint(
+            build(list(reversed(all_entries)))
+        )

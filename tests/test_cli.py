@@ -157,3 +157,37 @@ class TestSelfcheckJSON:
             c["name"] == "telemetry export is schema-valid" for c in doc["checks"]
         )
         assert "factorize" in doc["trace_summary"]
+
+
+class TestServeBench:
+    def test_quick_smoke(self, capsys):
+        assert main(["serve-bench", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "warm / cold" in out
+        assert "cache hit rate" in out
+
+    def test_writes_valid_telemetry_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_document
+
+        path = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--patterns", "1",
+                    "--requests", "2",
+                    "--scale", "0.05",
+                    "--workers", "1",
+                    "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(path.read_text())
+        assert validate_document(doc) == []
+        assert doc["meta"]["benchmark"] == "serve-bench"
+        assert doc["meta"]["warm_over_cold_throughput"] > 0
+        names = {s["name"] for s in doc["spans"]}
+        assert "serve_bench" in names
