@@ -15,6 +15,11 @@ Commands
 ``serve-bench`` replay a synthetic request stream through the serving
                layer (plan cache + batched solver service) and report
                cold/warm throughput, latency percentiles, cache stats.
+``symbolic-bench`` time the reference vs. fast symbolic kernels
+               (static fill + eforest + postorder) and the column-etree
+               compression, optionally writing the ``repro.bench``
+               artifact (``$REPRO_SYMBOLIC`` selects the production
+               implementation elsewhere; the bench always runs both).
 """
 
 from __future__ import annotations
@@ -274,6 +279,47 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_symbolic_bench(args: argparse.Namespace) -> int:
+    from repro.obs.export import bench_document, validate_bench_document, write_json
+    from repro.obs.trace import Tracer
+    from repro.symbolic.bench import run_symbolic_benchmark, summary_rows
+
+    if args.quick:
+        scales, repeats, etree_n = (0.05, 0.1), 1, 400
+    else:
+        scales = tuple(float(s) for s in args.scales.split(","))
+        repeats, etree_n = args.repeats, args.etree_n
+    tracer = Tracer()
+    data = run_symbolic_benchmark(
+        scales=scales,
+        matrix=args.matrix,
+        repeats=repeats,
+        etree_n=etree_n,
+        tracer=tracer,
+    )
+    text = format_table(
+        ["quantity", "value"],
+        summary_rows(data),
+        title=f"symbolic-bench: {data['matrix']} @ scales {list(scales)}",
+    )
+    if args.json:
+        doc = bench_document(
+            "bench_symbolic",
+            text=text,
+            data=data,
+            meta={"benchmark": "symbolic-bench", "quick": bool(args.quick)},
+        )
+        errors = validate_bench_document(doc)
+        if errors:  # defensive: bench_document should always emit valid docs
+            for e in errors:
+                print(f"bench schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"benchmark artifact written to {args.json}")
+    print(text)
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     a = paper_matrix(args.name, scale=args.scale)
     write_matrix_market(a, args.output)
@@ -345,6 +391,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", metavar="PATH", help="write telemetry JSON document")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "symbolic-bench",
+        help="reference-vs-fast benchmark of the symbolic kernels",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI-friendly)"
+    )
+    p.add_argument(
+        "--scales",
+        default="0.25,0.5,1.0",
+        help="comma-separated analog size factors (largest pins the bar)",
+    )
+    p.add_argument("--matrix", default="sherman3", help="generator matrix")
+    p.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per impl (best kept)"
+    )
+    p.add_argument(
+        "--etree-n", type=int, default=1500,
+        help="arrow-pattern size for the column-etree compression bench",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the repro.bench JSON artifact"
+    )
+    p.set_defaults(func=cmd_symbolic_bench)
 
     p = sub.add_parser("generate", help="write an analog to a .mtx file")
     p.add_argument("name", choices=sorted(PAPER_MATRICES))

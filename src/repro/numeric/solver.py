@@ -35,6 +35,7 @@ from repro.ordering.rcm import reverse_cuthill_mckee
 from repro.ordering.transversal import zero_free_diagonal_permutation
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import matvec, permute
+from repro.symbolic.dispatch import resolve_impl
 from repro.symbolic.postorder import postorder_pipeline
 from repro.symbolic.static_fill import StaticFill, static_symbolic_factorization
 from repro.symbolic.supernodes import (
@@ -191,14 +192,15 @@ def run_symbolic_pipeline(
     row_perm = q[row_perm]
     col_perm = q[col_perm]
 
-    with tr.span("static_fill") as s:
-        fill = static_symbolic_factorization(work)
+    impl = resolve_impl()
+    with tr.span("static_fill", impl=impl) as s:
+        fill = static_symbolic_factorization(work, impl=impl, tracer=tr)
         s.set(nnz_filled=fill.nnz, fill_ratio=fill.fill_ratio)
 
     n_btf_blocks = 0
     with tr.span("postorder", enabled=opts.postorder) as s:
         if opts.postorder:
-            po = postorder_pipeline(fill)
+            po = postorder_pipeline(fill, impl=impl)
             row_perm = po.perm[row_perm]
             col_perm = po.perm[col_perm]
             fill = po.fill

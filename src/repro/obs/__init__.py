@@ -35,6 +35,7 @@ from repro.obs.export import (
     export_json,
     schedule_chrome_trace,
     validate_document,
+    validate_bench_document,
     write_json,
 )
 from repro.obs.render import render_metrics, render_span_tree, render_trace
@@ -55,6 +56,7 @@ __all__ = [
     "export_json",
     "bench_document",
     "validate_document",
+    "validate_bench_document",
     "chrome_trace_events",
     "schedule_chrome_trace",
     "write_json",

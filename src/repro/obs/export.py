@@ -237,6 +237,44 @@ def validate_document(doc) -> list[str]:
     return errors
 
 
+def validate_bench_document(doc) -> list[str]:
+    """Structurally validate a benchmark artifact; returns error strings.
+
+    An empty list means the document conforms to ``repro.bench`` version
+    :data:`BENCH_SCHEMA_VERSION` (the wrapper produced by
+    :func:`bench_document`): scalar ``meta``, string ``text``, and a
+    JSON-serializable ``data`` payload. Used by the CI smoke step to gate
+    the ``benchmarks/results/*.json`` artifacts.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["$: document must be an object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        _err(errors, "$.schema", f"expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        _err(errors, "$.schema_version", f"expected positive int, got {version!r}")
+    elif version > BENCH_SCHEMA_VERSION:
+        _err(
+            errors,
+            "$.schema_version",
+            f"version {version} is newer than {BENCH_SCHEMA_VERSION}",
+        )
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        _err(errors, "$.name", "must be a non-empty string")
+    _check_scalar_map(doc.get("meta"), "$.meta", errors)
+    if not isinstance(doc.get("text"), str):
+        _err(errors, "$.text", "must be a string")
+    if "data" not in doc:
+        _err(errors, "$", "missing key 'data'")
+    if not errors:
+        try:
+            json.dumps(doc)
+        except (TypeError, ValueError) as exc:
+            _err(errors, "$", f"not JSON-serializable: {exc}")
+    return errors
+
+
 # ----------------------------------------------------------------------
 # Chrome trace
 # ----------------------------------------------------------------------

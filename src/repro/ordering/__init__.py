@@ -26,6 +26,7 @@ from repro.ordering.etree import (
     relabel_forest,
     forest_roots,
     forest_children,
+    forest_children_arrays,
     forest_depths,
     is_forest_permutation_topological,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "relabel_forest",
     "forest_roots",
     "forest_children",
+    "forest_children_arrays",
     "forest_depths",
     "is_forest_permutation_topological",
 ]

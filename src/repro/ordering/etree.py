@@ -19,13 +19,21 @@ from repro.sparse.csc import CSCMatrix
 from repro.util.errors import ShapeError
 
 
-def column_etree(a: CSCMatrix) -> np.ndarray:
+def column_etree(a: CSCMatrix, *, compress: bool = True) -> np.ndarray:
     """Elimination tree of ``AᵀA`` computed directly from ``A``.
 
-    This is Liu's algorithm with path compression (the ``cs_etree`` variant
-    with ``ata=True``): for column ``k`` and each row ``i`` of ``A_{*k}``,
-    walk from the previously seen column of row ``i`` up the virtual forest,
-    attaching roots below ``k``.
+    This is Liu's algorithm (the ``cs_etree`` variant with ``ata=True``):
+    for column ``k`` and each row ``i`` of ``A_{*k}``, walk from the
+    previously seen column of row ``i`` up the virtual forest, attaching
+    roots below ``k``.
+
+    With ``compress=True`` (the default) the walk runs over a separate
+    ``ancestor`` array that is fully compressed as a side effect — every
+    visited node is re-pointed directly at ``k``, which is strictly stronger
+    than path halving and keeps the walk near-linear overall. With
+    ``compress=False`` the walk follows raw parent chains, which is
+    quadratic on chain-shaped etrees; it exists as the before/after baseline
+    for ``benchmarks/bench_symbolic.py``. Both return identical trees.
 
     Returns the ``parent`` array (``-1`` marks roots).
     """
@@ -33,18 +41,29 @@ def column_etree(a: CSCMatrix) -> np.ndarray:
         raise ShapeError("column etree requires a square matrix")
     n = a.n_cols
     parent = np.full(n, -1, dtype=np.int64)
-    ancestor = np.full(n, -1, dtype=np.int64)  # path-compressed ancestors
     prev_col = np.full(a.n_rows, -1, dtype=np.int64)  # last column seen per row
-    for k in range(n):
-        for r in a.col_rows(k):
-            i = int(prev_col[r])
-            while i != -1 and i < k:
-                inext = int(ancestor[i])
-                ancestor[i] = k
-                if inext == -1:
-                    parent[i] = k
-                i = inext
-            prev_col[r] = k
+    if compress:
+        ancestor = np.full(n, -1, dtype=np.int64)  # path-compressed ancestors
+        for k in range(n):
+            for r in a.col_rows(k):
+                i = int(prev_col[r])
+                while i != -1 and i < k:
+                    inext = int(ancestor[i])
+                    ancestor[i] = k
+                    if inext == -1:
+                        parent[i] = k
+                    i = inext
+                prev_col[r] = k
+    else:
+        for k in range(n):
+            for r in a.col_rows(k):
+                i = int(prev_col[r])
+                while i != -1 and i < k:
+                    inext = int(parent[i])
+                    if inext == -1:
+                        parent[i] = k
+                    i = inext
+                prev_col[r] = k
     return parent
 
 
@@ -53,34 +72,52 @@ def forest_roots(parent: np.ndarray) -> np.ndarray:
     return np.nonzero(np.asarray(parent) == -1)[0]
 
 
+def forest_children_arrays(parent: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Children in flat CSR-like form: ``(child_ptr, child_list)``.
+
+    Children of ``v`` are ``child_list[child_ptr[v]:child_ptr[v + 1]]``,
+    ascending. Built in one vectorized pass (stable argsort groups children
+    by parent while preserving ascending child order).
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.size
+    order = np.argsort(parent, kind="stable")  # roots (-1) sort first
+    n_roots = int(np.count_nonzero(parent < 0))
+    child_list = order[n_roots:]
+    child_ptr = np.zeros(n + 1, dtype=np.int64)
+    if n:
+        counts = np.bincount(parent[parent >= 0], minlength=n)
+        np.cumsum(counts, out=child_ptr[1:])
+    return child_ptr, child_list
+
+
 def forest_children(parent: np.ndarray) -> list[list[int]]:
     """Children lists, each sorted ascending."""
-    parent = np.asarray(parent)
-    children: list[list[int]] = [[] for _ in range(parent.size)]
-    for v in range(parent.size):
-        p = int(parent[v])
-        if p >= 0:
-            children[p].append(v)
-    return children
+    child_ptr, child_list = forest_children_arrays(parent)
+    flat = child_list.tolist()
+    ptr = child_ptr.tolist()
+    return [flat[ptr[v] : ptr[v + 1]] for v in range(len(ptr) - 1)]
 
 
 def forest_depths(parent: np.ndarray) -> np.ndarray:
-    """Depth of each node (roots have depth 0)."""
-    parent = np.asarray(parent)
+    """Depth of each node (roots have depth 0).
+
+    Pointer doubling: ``cur`` tracks a known ancestor of each node and
+    ``depth`` the distance to it; each round jumps ``cur`` to ``cur[cur]``,
+    so the loop runs O(log(max depth)) vectorized passes.
+    """
+    parent = np.asarray(parent, dtype=np.int64)
     n = parent.size
-    depth = np.full(n, -1, dtype=np.int64)
-    for v in range(n):
-        # Walk up collecting the unresolved chain, then unwind it.
-        chain = []
-        u = v
-        while u != -1 and depth[u] == -1:
-            chain.append(u)
-            u = int(parent[u])
-        d = 0 if u == -1 else int(depth[u]) + 1
-        for node in reversed(chain):
-            depth[node] = d
-            d += 1
-    return depth
+    self_idx = np.arange(n, dtype=np.int64)
+    cur = np.where(parent < 0, self_idx, parent)  # roots point at themselves
+    depth = (parent >= 0).astype(np.int64)
+    while True:
+        nxt = cur[cur]
+        moving = nxt != cur
+        if not bool(moving.any()):
+            return depth
+        depth[moving] += depth[cur[moving]]
+        cur[moving] = nxt[moving]
 
 
 def postorder_forest(parent: np.ndarray) -> np.ndarray:
@@ -94,32 +131,41 @@ def postorder_forest(parent: np.ndarray) -> np.ndarray:
     """
     parent = np.asarray(parent)
     n = parent.size
-    children = forest_children(parent)
+    child_ptr, child_list = forest_children_arrays(parent)
+    flat = child_list.tolist()
+    ptr = child_ptr.tolist()
     perm = np.empty(n, dtype=np.int64)
     label = 0
-    for root in forest_roots(parent):
-        # Iterative DFS emitting nodes on the way *out* (postorder).
-        stack: list[tuple[int, int]] = [(int(root), 0)]
+    for root in forest_roots(parent).tolist():
+        # Iterative DFS over plain-int stacks, emitting nodes on the way
+        # *out* (postorder); cursor[v] tracks the next unvisited child.
+        stack = [root]
+        cursor = [ptr[root]]
         while stack:
-            node, next_child = stack.pop()
-            if next_child < len(children[node]):
-                stack.append((node, next_child + 1))
-                stack.append((children[node][next_child], 0))
+            node = stack[-1]
+            c = cursor[-1]
+            if c < ptr[node + 1]:
+                cursor[-1] = c + 1
+                child = flat[c]
+                stack.append(child)
+                cursor.append(ptr[child])
             else:
                 perm[node] = label
                 label += 1
+                stack.pop()
+                cursor.pop()
     assert label == n
     return perm
 
 
 def relabel_forest(parent: np.ndarray, perm: np.ndarray) -> np.ndarray:
     """Parent array of the forest after relabeling nodes by ``perm``."""
-    parent = np.asarray(parent)
-    perm = np.asarray(perm)
-    new_parent = np.full(parent.size, -1, dtype=np.int64)
-    for v in range(parent.size):
-        p = int(parent[v])
-        new_parent[perm[v]] = -1 if p == -1 else perm[p]
+    parent = np.asarray(parent, dtype=np.int64)
+    perm = np.asarray(perm, dtype=np.int64)
+    new_parent = np.empty(parent.size, dtype=np.int64)
+    # perm[parent] wraps around for roots (parent == -1); the where() mask
+    # discards those lanes, so the wrapped values are never used.
+    new_parent[perm] = np.where(parent >= 0, perm[parent], -1)
     return new_parent
 
 

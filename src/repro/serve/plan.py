@@ -145,9 +145,11 @@ def build_plan(
     stages record their usual spans (``transversal`` … ``task_graph``)
     under a ``build_plan`` parent.
     """
+    from repro.symbolic.dispatch import resolve_impl
+
     opts = options or SolverOptions()
     tr = tracer if tracer is not None else Tracer(enabled=False)
-    with tr.span("build_plan", n=a.n_cols, nnz=a.nnz):
+    with tr.span("build_plan", n=a.n_cols, nnz=a.nnz, symbolic_impl=resolve_impl()):
         art = run_symbolic_pipeline(a.pattern_only(), opts, tr)
     return _assemble(a, opts, art)
 

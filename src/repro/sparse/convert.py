@@ -14,40 +14,35 @@ from repro.util.errors import ShapeError
 
 
 def csc_to_csr(a: CSCMatrix) -> CSRMatrix:
-    """Re-compress a CSC matrix by rows (O(nnz) bucket sort)."""
+    """Re-compress a CSC matrix by rows (one stable sort over the entries).
+
+    A stable argsort of the row indices groups entries by row while
+    preserving the ascending column order within each row — no per-column
+    Python loop.
+    """
     counts = np.bincount(a.indices, minlength=a.n_rows)
     indptr = np.zeros(a.n_rows + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
-    indices = np.empty(a.nnz, dtype=INDEX_DTYPE)
-    data = None if a.data is None else np.empty(a.nnz, dtype=VALUE_DTYPE)
-    fill = indptr[:-1].copy()
-    for j in range(a.n_cols):
-        lo, hi = a.indptr[j], a.indptr[j + 1]
-        rows = a.indices[lo:hi]
-        dest = fill[rows]
-        indices[dest] = j
-        if data is not None:
-            data[dest] = a.data[lo:hi]
-        fill[rows] += 1
+    order = np.argsort(a.indices, kind="stable")
+    col_ids = np.repeat(
+        np.arange(a.n_cols, dtype=INDEX_DTYPE), np.diff(a.indptr)
+    )
+    indices = col_ids[order]
+    data = None if a.data is None else a.data[order]
     return CSRMatrix(a.n_rows, a.n_cols, indptr, indices, data, check=False)
 
 
 def csr_to_csc(a: CSRMatrix) -> CSCMatrix:
-    """Re-compress a CSR matrix by columns (O(nnz) bucket sort)."""
+    """Re-compress a CSR matrix by columns (one stable sort over the entries)."""
     counts = np.bincount(a.indices, minlength=a.n_cols)
     indptr = np.zeros(a.n_cols + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
-    indices = np.empty(a.nnz, dtype=INDEX_DTYPE)
-    data = None if a.data is None else np.empty(a.nnz, dtype=VALUE_DTYPE)
-    fill = indptr[:-1].copy()
-    for i in range(a.n_rows):
-        lo, hi = a.indptr[i], a.indptr[i + 1]
-        cols = a.indices[lo:hi]
-        dest = fill[cols]
-        indices[dest] = i
-        if data is not None:
-            data[dest] = a.data[lo:hi]
-        fill[cols] += 1
+    order = np.argsort(a.indices, kind="stable")
+    row_ids = np.repeat(
+        np.arange(a.n_rows, dtype=INDEX_DTYPE), np.diff(a.indptr)
+    )
+    indices = row_ids[order]
+    data = None if a.data is None else a.data[order]
     return CSCMatrix(a.n_rows, a.n_cols, indptr, indices, data, check=False)
 
 

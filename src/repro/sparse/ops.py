@@ -48,25 +48,17 @@ def permute(
         if col_perm is None
         else _check_perm(col_perm, a.n_cols, "column")
     )
-    # Destination column for each old column; we must emit columns in new
-    # order, and re-sort row indices after relabeling.
-    inv_cp = np.empty_like(cp)
-    inv_cp[cp] = np.arange(a.n_cols)
+    # One vectorized pass over all entries: relabel rows, tag each entry
+    # with its new column, and sort by (new column, new row) — no
+    # per-column Python loop. The combined scalar key makes it a single
+    # argsort (keys are unique, so stability is irrelevant).
+    new_rows = rp[a.indices]
+    new_cols = np.repeat(cp, np.diff(a.indptr))
+    order = np.argsort(new_cols * a.n_rows + new_rows)
+    indices = new_rows[order].astype(INDEX_DTYPE, copy=False)
+    data = None if a.data is None else a.data[order]
     indptr = np.zeros(a.n_cols + 1, dtype=np.int64)
-    indices = np.empty(a.nnz, dtype=INDEX_DTYPE)
-    data = None if a.data is None else np.empty(a.nnz, dtype=VALUE_DTYPE)
-    pos = 0
-    for new_j in range(a.n_cols):
-        old_j = inv_cp[new_j]
-        lo, hi = a.indptr[old_j], a.indptr[old_j + 1]
-        rows = rp[a.indices[lo:hi]]
-        order = np.argsort(rows, kind="stable")
-        cnt = hi - lo
-        indices[pos : pos + cnt] = rows[order]
-        if data is not None:
-            data[pos : pos + cnt] = a.data[lo:hi][order]
-        pos += cnt
-        indptr[new_j + 1] = pos
+    np.cumsum(np.bincount(new_cols, minlength=a.n_cols), out=indptr[1:])
     return CSCMatrix(a.n_rows, a.n_cols, indptr, indices, data, check=False)
 
 

@@ -16,14 +16,24 @@
   graphs.
 """
 
+from repro.symbolic.dispatch import (
+    DEFAULT_IMPL,
+    ENV_VAR,
+    IMPLEMENTATIONS,
+    resolve_impl,
+)
 from repro.symbolic.static_fill import (
     StaticFill,
     static_symbolic_factorization,
+    static_symbolic_factorization_fast,
+    static_symbolic_factorization_reference,
     simulate_elimination_fill,
     ata_cholesky_bound,
 )
 from repro.symbolic.eforest import (
     lu_elimination_forest,
+    lu_elimination_forest_fast,
+    lu_elimination_forest_reference,
     ExtendedEForest,
     extended_eforest,
 )
@@ -57,11 +67,19 @@ from repro.symbolic.coletree_analysis import (
 )
 
 __all__ = [
+    "DEFAULT_IMPL",
+    "ENV_VAR",
+    "IMPLEMENTATIONS",
+    "resolve_impl",
     "StaticFill",
     "static_symbolic_factorization",
+    "static_symbolic_factorization_fast",
+    "static_symbolic_factorization_reference",
     "simulate_elimination_fill",
     "ata_cholesky_bound",
     "lu_elimination_forest",
+    "lu_elimination_forest_fast",
+    "lu_elimination_forest_reference",
     "ExtendedEForest",
     "extended_eforest",
     "l_row_structure_from_forest",

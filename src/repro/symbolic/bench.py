@@ -1,0 +1,212 @@
+"""Reference-vs-fast benchmark for the symbolic kernels.
+
+Times the three kernels the fast path rewrites — static symbolic
+factorization, LU eforest extraction, and the postorder permutation — on
+the paper-scale generator matrices, running the same preprocessed pattern
+through both implementations (see :mod:`repro.symbolic.dispatch`) and
+verifying they agree entry-for-entry while timing them. The ordering and
+transversal stages are shared, untimed preparation: they are identical in
+both paths and would only dilute the comparison.
+
+Also times :func:`repro.ordering.etree.column_etree` with and without
+ancestor compression on an arrow-shaped pattern (tridiagonal plus a dense
+last row), the chain-etree case where the uncompressed walk is quadratic.
+
+Used by ``repro symbolic-bench`` and ``benchmarks/bench_symbolic.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.obs.trace import Tracer
+from repro.ordering.etree import column_etree
+from repro.ordering.mindeg import minimum_degree_ata
+from repro.ordering.transversal import zero_free_diagonal_permutation
+from repro.sparse.csc import CSCMatrix, INDEX_DTYPE
+from repro.sparse.generators import paper_matrix
+from repro.sparse.ops import permute
+from repro.symbolic.postorder import postorder_pipeline
+from repro.symbolic.static_fill import static_symbolic_factorization
+
+#: The acceptance bar pinned by benchmarks/bench_symbolic.py at the
+#: largest benched size.
+MIN_SPEEDUP = 3.0
+
+DEFAULT_SCALES = (0.25, 0.5, 1.0)
+
+
+def _prepare(matrix: str, scale: float) -> CSCMatrix:
+    """Generator matrix after the shared (untimed) preprocessing stages."""
+    a = paper_matrix(matrix, scale=scale)
+    work = permute(a.pattern_only(), row_perm=zero_free_diagonal_permutation(a))
+    q = minimum_degree_ata(work)
+    return permute(work, row_perm=q, col_perm=q)
+
+
+def _time_pipeline(work: CSCMatrix, impl: str, repeats: int) -> tuple[float, tuple]:
+    """Best-of-``repeats`` wall time of static fill + eforest + postorder."""
+    best = float("inf")
+    outcome = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fill = static_symbolic_factorization(work, impl=impl)
+        po = postorder_pipeline(fill, impl=impl)
+        best = min(best, time.perf_counter() - t0)
+        outcome = (fill, po)
+    return best, outcome
+
+
+def _patterns_equal(a: CSCMatrix, b: CSCMatrix) -> bool:
+    return bool(
+        np.array_equal(a.indptr, b.indptr) and np.array_equal(a.indices, b.indices)
+    )
+
+
+def arrow_pattern(n: int) -> CSCMatrix:
+    """Tridiagonal plus a dense last column: the uncompressed-etree worst case.
+
+    The tridiagonal part builds a chain etree (``parent[i] = i + 1``), and
+    the dense last column then walks from every row's previously-seen
+    column up that chain. Without compression each walk re-traverses the
+    remaining chain — quadratic in ``n`` — while the compressed walk
+    shortcuts through the ``ancestor`` array and stays near-linear.
+    """
+    cols = []
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for j in range(n):
+        if j == n - 1:
+            rows = range(n)
+        else:
+            rows = sorted({max(j - 1, 0), j, j + 1})
+        r = np.fromiter(rows, dtype=INDEX_DTYPE)
+        cols.append(r)
+        indptr[j + 1] = indptr[j] + r.size
+    return CSCMatrix(n, n, indptr, np.concatenate(cols), None, check=False)
+
+
+def etree_compression_bench(n: int = 1500, repeats: int = 2) -> dict:
+    """Time ``column_etree`` compressed vs uncompressed on the arrow pattern."""
+    a = arrow_pattern(n)
+    best = {True: float("inf"), False: float("inf")}
+    trees = {}
+    for compress in (True, False):
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            trees[compress] = column_etree(a, compress=compress)
+            best[compress] = min(best[compress], time.perf_counter() - t0)
+    if not np.array_equal(trees[True], trees[False]):
+        raise AssertionError("compressed and uncompressed column etrees differ")
+    return {
+        "n": n,
+        "compressed_s": best[True],
+        "uncompressed_s": best[False],
+        "speedup": best[False] / best[True] if best[True] > 0 else 0.0,
+    }
+
+
+def run_symbolic_benchmark(
+    *,
+    scales: Sequence[float] = DEFAULT_SCALES,
+    matrix: str = "sherman3",
+    repeats: int = 3,
+    etree_n: int = 1500,
+    tracer: Optional[Tracer] = None,
+) -> dict:
+    """Reference-vs-fast timings; returns the result document's ``data``.
+
+    Each scale runs both implementations on the identical preprocessed
+    pattern (best-of-``repeats`` wall time) and cross-checks that the
+    static-fill patterns, eforest parent arrays, and postorder permutations
+    match exactly — the benchmark doubles as an end-to-end equality check
+    on real generator matrices.
+    """
+    if not scales:
+        raise ValueError("at least one scale is required")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    tr = tracer if tracer is not None else Tracer(enabled=False)
+    scales = sorted(float(s) for s in scales)
+    rows = []
+    with tr.span("symbolic_bench", matrix=matrix, repeats=repeats):
+        # Untimed warm-up so first-touch allocator costs stay out of the
+        # smallest scale's timings.
+        _time_pipeline(_prepare(matrix, min(scales) / 2), "fast", 1)
+        for scale in scales:
+            with tr.span("symbolic_bench.scale", scale=scale):
+                work = _prepare(matrix, scale)
+                ref_s, (ref_fill, ref_po) = _time_pipeline(
+                    work, "reference", repeats
+                )
+                fast_s, (fast_fill, fast_po) = _time_pipeline(
+                    work, "fast", repeats
+                )
+            if not _patterns_equal(ref_fill.pattern, fast_fill.pattern):
+                raise AssertionError(
+                    f"static fill patterns differ at scale {scale}"
+                )
+            if not np.array_equal(ref_po.parent_before, fast_po.parent_before):
+                raise AssertionError(
+                    f"eforest parent arrays differ at scale {scale}"
+                )
+            if not np.array_equal(ref_po.perm, fast_po.perm):
+                raise AssertionError(
+                    f"postorder permutations differ at scale {scale}"
+                )
+            rows.append(
+                {
+                    "scale": scale,
+                    "n": work.n_cols,
+                    "nnz": work.nnz,
+                    "nnz_filled": fast_fill.nnz,
+                    "reference_s": ref_s,
+                    "fast_s": fast_s,
+                    "speedup": ref_s / fast_s if fast_s > 0 else 0.0,
+                }
+            )
+        etree = etree_compression_bench(n=etree_n, repeats=max(repeats - 1, 1))
+    largest = rows[-1]
+    return {
+        "matrix": matrix,
+        "repeats": repeats,
+        "pipeline": rows,
+        "largest": {"scale": largest["scale"], "speedup": largest["speedup"]},
+        "min_speedup_required": MIN_SPEEDUP,
+        "etree": etree,
+        "patterns_equal": True,
+    }
+
+
+def summary_rows(data: dict) -> list:
+    """``(quantity, value)`` rows for the terminal table."""
+    out = []
+    for row in data["pipeline"]:
+        out.append(
+            (
+                f"{data['matrix']} scale {row['scale']:g} (n={row['n']})",
+                f"ref {row['reference_s'] * 1e3:.1f} ms / "
+                f"fast {row['fast_s'] * 1e3:.1f} ms = "
+                f"{row['speedup']:.2f}x",
+            )
+        )
+    out.append(
+        (
+            "largest-size speedup (required)",
+            f"{data['largest']['speedup']:.2f}x "
+            f"(>= {data['min_speedup_required']:g}x)",
+        )
+    )
+    etree = data["etree"]
+    out.append(
+        (
+            f"column_etree arrow n={etree['n']}",
+            f"uncompressed {etree['uncompressed_s'] * 1e3:.1f} ms / "
+            f"compressed {etree['compressed_s'] * 1e3:.1f} ms = "
+            f"{etree['speedup']:.2f}x",
+        )
+    )
+    out.append(("implementations agree", str(data["patterns_equal"]).lower()))
+    return out

@@ -1,0 +1,47 @@
+"""Reference/fast implementation selection for the symbolic kernels.
+
+The symbolic pipeline ships two bit-exact implementations of its three
+kernels (static fill, eforest parents, postorder):
+
+* ``"reference"`` — the original per-element Python data-structure code,
+  kept as the readable oracle the property tests compare against;
+* ``"fast"`` — flat NumPy array kernels (sorted-array row merge with a
+  union-find representative-row scheme, vectorized parent extraction,
+  iterative postorder) that cut the cold-path plan-build latency.
+
+Selection order: an explicit ``impl=`` argument wins, then the
+``REPRO_SYMBOLIC`` environment variable, then the default (``"fast"``).
+Both paths produce identical :class:`~repro.symbolic.static_fill.StaticFill`
+patterns, eforest parent arrays, and postorder permutations —
+``tests/symbolic/test_symbolic_impls.py`` pins the equality.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable consulted when no explicit ``impl`` is passed.
+ENV_VAR = "REPRO_SYMBOLIC"
+
+#: Recognized implementation names.
+IMPLEMENTATIONS = ("fast", "reference")
+
+#: Used when neither the argument nor the environment selects one.
+DEFAULT_IMPL = "fast"
+
+
+def resolve_impl(impl: str | None = None) -> str:
+    """Resolve the symbolic implementation to use.
+
+    ``impl`` (if not ``None``) overrides the ``REPRO_SYMBOLIC`` environment
+    variable, which overrides the default. Raises :class:`ValueError` on an
+    unrecognized name so typos fail loudly instead of silently falling back.
+    """
+    choice = impl if impl is not None else os.environ.get(ENV_VAR) or DEFAULT_IMPL
+    if choice not in IMPLEMENTATIONS:
+        source = "impl argument" if impl is not None else f"${ENV_VAR}"
+        raise ValueError(
+            f"unknown symbolic implementation {choice!r} (from {source}); "
+            f"expected one of {IMPLEMENTATIONS}"
+        )
+    return choice

@@ -14,15 +14,31 @@ task-graph construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.ordering.etree import forest_children, forest_roots
+from repro.symbolic.dispatch import resolve_impl
 from repro.symbolic.static_fill import StaticFill
 
 
-def lu_elimination_forest(fill: StaticFill) -> np.ndarray:
-    """Parent array of the LU eforest of ``Ā`` (``-1`` marks roots)."""
+def lu_elimination_forest(
+    fill: StaticFill, *, impl: Optional[str] = None
+) -> np.ndarray:
+    """Parent array of the LU eforest of ``Ā`` (``-1`` marks roots).
+
+    ``impl`` selects the vectorized ``"fast"`` kernel or the per-row
+    ``"reference"`` oracle (default: ``$REPRO_SYMBOLIC``, then ``"fast"``);
+    both return identical parent arrays.
+    """
+    if resolve_impl(impl) == "fast":
+        return lu_elimination_forest_fast(fill)
+    return lu_elimination_forest_reference(fill)
+
+
+def lu_elimination_forest_reference(fill: StaticFill) -> np.ndarray:
+    """Per-row reference implementation (the property-test oracle)."""
     n = fill.n
     parent = np.full(n, -1, dtype=np.int64)
     u_rows = fill.u_rows()
@@ -35,6 +51,35 @@ def lu_elimination_forest(fill: StaticFill) -> np.ndarray:
         after = row[row > j]
         if after.size:
             parent[j] = int(after[0])
+    return parent
+
+
+def lu_elimination_forest_fast(fill: StaticFill) -> np.ndarray:
+    """Vectorized parent extraction: one pass over the flat entry arrays.
+
+    ``parent[j] = min{ r > j : ū_jr ≠ 0 }`` is the column of the *first*
+    strictly-upper entry of row ``j`` in CSC entry order (columns ascend, so
+    the first occurrence per row is the minimum column). Scattering the
+    entries in reverse order makes the first occurrence the one that
+    sticks — no sort at all. The ``|L̄_*j| > 1`` gate is a boolean scatter
+    from the strictly-lower entries.
+    """
+    pat = fill.pattern
+    n = fill.n
+    parent = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return parent
+    entry_rows = pat.indices.astype(np.int64, copy=False)
+    entry_cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(pat.indptr))
+
+    has_below = np.zeros(n, dtype=bool)
+    has_below[entry_cols[entry_rows > entry_cols]] = True
+
+    upper = entry_cols > entry_rows  # strictly upper entries of Ū
+    rows_u = entry_rows[upper]
+    cols_u = entry_cols[upper]
+    parent[rows_u[::-1]] = cols_u[::-1]  # first (minimum) column wins
+    parent[~has_below] = -1
     return parent
 
 
@@ -97,9 +142,11 @@ class ExtendedEForest:
         return len(self.path_to_root(v)) - 1
 
 
-def extended_eforest(fill: StaticFill) -> ExtendedEForest:
+def extended_eforest(
+    fill: StaticFill, *, impl: Optional[str] = None
+) -> ExtendedEForest:
     """Build the extended eforest of ``Ā`` with DFS numbering."""
-    parent = lu_elimination_forest(fill)
+    parent = lu_elimination_forest(fill, impl=impl)
     n = parent.size
     children = forest_children(parent)
 
@@ -122,17 +169,17 @@ def extended_eforest(fill: StaticFill) -> ExtendedEForest:
                 post[node] = clock
                 clock += 1
 
-    # Left italics of Figure 1: first L̄ nonzero per row.
-    first_l = np.empty(n, dtype=np.int64)
-    csr_rows = fill.pattern
-    # Row-wise min column with col <= i: cheapest from the L columns.
-    first_l[:] = np.arange(n)
-    for j in range(n):
-        below = csr_rows.col_rows(j)
-        below = below[below > j]
-        for i in below:
-            if j < first_l[i]:
-                first_l[i] = j
+    # Left italics of Figure 1: first L̄ nonzero per row — the column of the
+    # first strictly-lower entry of each row in CSC entry order (columns
+    # ascend, so the first occurrence per row is the minimum column).
+    first_l = np.arange(n, dtype=np.int64)
+    pat = fill.pattern
+    entry_rows = pat.indices.astype(np.int64, copy=False)
+    entry_cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(pat.indptr))
+    lower = entry_rows > entry_cols
+    rows_l = entry_rows[lower]
+    cols_l = entry_cols[lower]
+    first_l[rows_l[::-1]] = cols_l[::-1]  # first (minimum) column wins
 
     return ExtendedEForest(
         parent=parent,

@@ -22,10 +22,12 @@ Two implementations are provided, as in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.ordering.etree import (
+    forest_children_arrays,
     forest_roots,
     is_forest_permutation_topological,
     postorder_forest,
@@ -62,9 +64,15 @@ class PostorderResult:
     blocks: list[tuple[int, int]]
 
 
-def postorder_pipeline(fill: StaticFill) -> PostorderResult:
-    """DFS-postorder the LU eforest of ``fill`` and permute symmetrically."""
-    parent = lu_elimination_forest(fill)
+def postorder_pipeline(
+    fill: StaticFill, *, impl: Optional[str] = None
+) -> PostorderResult:
+    """DFS-postorder the LU eforest of ``fill`` and permute symmetrically.
+
+    ``impl`` selects the eforest implementation (see
+    :mod:`repro.symbolic.dispatch`); both yield the same permutation.
+    """
+    parent = lu_elimination_forest(fill, impl=impl)
     perm = postorder_forest(parent)
     permuted = permute(fill.pattern, row_perm=perm, col_perm=perm)
     new_fill = StaticFill(pattern=permuted, nnz_original=fill.nnz_original)
@@ -141,58 +149,74 @@ def paper_postorder_interchanges(parent: np.ndarray) -> np.ndarray:
     label_of = np.arange(n, dtype=np.int64)  # node -> current label
     node_at = np.arange(n, dtype=np.int64)  # label -> node
 
-    children: list[list[int]] = [[] for _ in range(n)]
-    for v in range(n):
-        if parent[v] >= 0:
-            children[int(parent[v])].append(v)
+    child_ptr, child_list = forest_children_arrays(parent)
 
-    def subtree_nodes(node: int) -> list[int]:
-        out = []
-        stack = [node]
-        while stack:
-            v = stack.pop()
-            out.append(v)
-            stack.extend(children[v])
-        return out
-
-    def swap_labels(x: int) -> None:
-        a, b = int(node_at[x]), int(node_at[x + 1])
-        node_at[x], node_at[x + 1] = b, a
-        label_of[a], label_of[b] = x + 1, x
+    # Subtree membership never changes (only labels move), so one DFS over
+    # the input forest fixes it for good: the subtree of ``v`` is the
+    # preorder interval ``[tin[v], tin[v] + size[v])``.
+    tin = np.empty(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    flat = child_list.tolist()
+    ptr = child_ptr.tolist()
+    clock = 0
+    for root in forest_roots(parent).tolist():
+        dfs = [root]
+        cursor = [ptr[root]]
+        tin[root] = clock
+        clock += 1
+        while dfs:
+            v = dfs[-1]
+            c = cursor[-1]
+            if c < ptr[v + 1]:
+                cursor[-1] = c + 1
+                child = flat[c]
+                tin[child] = clock
+                clock += 1
+                dfs.append(child)
+                cursor.append(ptr[child])
+            else:
+                dfs.pop()
+                cursor.pop()
+                if parent[v] >= 0:
+                    size[parent[v]] += size[v]
 
     def normalize(node: int) -> None:
-        members = subtree_nodes(node)
-        member_labels = {int(label_of[v]) for v in members}
+        """Apply the net effect of the §3 bubbling loop for one subtree.
+
+        The original loop repeatedly swaps the largest member label whose
+        successor is a non-member below the root — each swap an adjacent
+        member/non-member transposition, so the relative order on each side
+        is preserved. Its unique fixed point packs the members into
+        ``[root - |T| + 1, root]`` with non-members slid below, which we
+        write in one vectorized pass instead of swap by swap.
+        """
+        sz = int(size[node])
         root_label = int(label_of[node])
-        # Bubble members upward until they form [root-|T|+1, root].
-        while True:
-            gaps = [
-                x
-                for x in member_labels
-                if x + 1 < root_label and (x + 1) not in member_labels
-            ]
-            if not gaps:
-                break
-            x = max(gaps)
-            swap_labels(x)
-            member_labels.discard(x)
-            member_labels.add(x + 1)
-        for child in sorted(children[node], key=lambda c: -int(label_of[c])):
-            normalize(child)
+        target_lo = root_label - sz + 1
+        members = pre_nodes[tin[node] : tin[node] + sz]
+        lo = int(label_of[members].min()) if sz > 1 else root_label
+        if lo == target_lo:
+            return  # already contiguous: the bubbling loop finds no gaps
+        seg = node_at[lo : root_label + 1]
+        t = tin[seg]
+        member_mask = (t >= tin[node]) & (t < tin[node] + sz)
+        new_seg = np.concatenate([seg[~member_mask], seg[member_mask]])
+        node_at[lo : root_label + 1] = new_seg
+        label_of[new_seg] = np.arange(lo, root_label + 1, dtype=np.int64)
 
-    import sys
-
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, n + 100))
-    try:
-        roots = sorted(
-            (int(r) for r in forest_roots(parent)),
-            key=lambda r: -int(label_of[r]),
-        )
-        for root in roots:
-            normalize(root)
-    finally:
-        sys.setrecursionlimit(old_limit)
+    # Explicit work stack mirroring the original recursion: a node is
+    # normalized when popped, then its children are queued in descending
+    # current-label order (evaluated at that moment, as the recursive
+    # version did) so the largest-label child is fully processed first.
+    pre_nodes = np.empty(n, dtype=np.int64)  # preorder position -> node
+    pre_nodes[tin] = np.arange(n, dtype=np.int64)
+    work = sorted(forest_roots(parent).tolist(), key=lambda r: label_of[r])
+    while work:
+        node = work.pop()
+        normalize(node)
+        kids = flat[ptr[node] : ptr[node + 1]]
+        kids.sort(key=lambda c: label_of[c])  # max label pops (runs) first
+        work.extend(kids)
 
     perm = label_of.copy()
     if not is_forest_permutation_topological(parent, perm):

@@ -130,3 +130,33 @@ class TestInterchangeAlgorithm:
         po = postorder_pipeline(static_symbolic_factorization(a))
         perm = paper_postorder_interchanges(po.parent_after)
         assert np.array_equal(perm, np.arange(20))
+
+    def test_deep_chain_exceeds_recursion_limit(self):
+        # Regression: the tridiagonal (chain-forest) case used to recurse
+        # once per node and needed a sys.setrecursionlimit bump. The chain
+        # must run iteratively, well past the default recursion limit, and
+        # — being already postordered — come back as the identity.
+        import sys
+
+        n = sys.getrecursionlimit() + 500
+        parent = np.arange(1, n + 1, dtype=np.int64)
+        parent[-1] = -1
+        perm = paper_postorder_interchanges(parent)
+        assert np.array_equal(perm, np.arange(n))
+
+    def test_deep_chain_with_scrambled_labels(self):
+        # A chain whose labels interleave with a second root-only tree:
+        # members of the chain are non-contiguous, so the normalization
+        # actually moves labels at depth > the default recursion limit.
+        import sys
+
+        n = sys.getrecursionlimit() + 501  # odd, so the chain gets the top
+        # Even nodes form a chain 0 -> 2 -> 4 -> ...; odd nodes are roots.
+        parent = np.full(n, -1, dtype=np.int64)
+        evens = np.arange(0, n - 2, 2)
+        parent[evens] = evens + 2
+        perm = paper_postorder_interchanges(parent)
+        assert is_forest_permutation_topological(parent, perm)
+        from repro.ordering.etree import relabel_forest
+
+        block_upper_triangular_blocks(relabel_forest(parent, perm))

@@ -161,22 +161,76 @@ class TestStructure:
         assert l_pat.nnz + u_pat.nnz - fill.n == fill.nnz
 
 
+IMPLS = ("reference", "fast")
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_one_by_one(self, impl):
+        fill = static_symbolic_factorization(
+            csc_from_dense(np.ones((1, 1))), impl=impl
+        )
+        assert fill.n == 1
+        assert fill.nnz == 1
+        assert fill.pattern.has_entry(0, 0)
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_fully_dense(self, impl):
+        n = 8
+        dense = csc_from_dense(np.ones((n, n)))
+        fill = static_symbolic_factorization(dense, impl=impl)
+        # A dense matrix is already its own static fill.
+        assert pattern_equal(fill.pattern, dense.pattern_only())
+        assert fill.fill_ratio == 1.0
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_diagonal_only(self, impl):
+        n = 9
+        diag = csc_from_dense(np.eye(n))
+        fill = static_symbolic_factorization(diag, impl=impl)
+        # No off-diagonal structure means no merges and no fill at all.
+        assert pattern_equal(fill.pattern, diag.pattern_only())
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_zero_diagonal_fixed_by_transversal(self, impl):
+        # An antidiagonal permutation matrix plus some off-diagonal noise:
+        # every diagonal entry is zero, so the raw matrix must be rejected,
+        # while the maximum-transversal row permutation repairs it.
+        n = 6
+        dense = np.zeros((n, n))
+        for j in range(n):
+            dense[n - 1 - j, j] = 1.0
+        dense[0, n - 1] = 1.0
+        a = csc_from_dense(dense)
+        with pytest.raises(PatternError, match="zero-free diagonal"):
+            static_symbolic_factorization(a, impl=impl)
+        fixed = permute(a, row_perm=zero_free_diagonal_permutation(a))
+        fill = static_symbolic_factorization(fixed, impl=impl)
+        for j in range(n):
+            assert fill.pattern.has_entry(j, j)
+
+
 class TestErrors:
-    def test_missing_diagonal_raises(self):
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_missing_diagonal_raises(self, impl):
         dense = np.array([[0.0, 1.0], [1.0, 1.0]])
         with pytest.raises(PatternError):
-            static_symbolic_factorization(csc_from_dense(dense))
+            static_symbolic_factorization(csc_from_dense(dense), impl=impl)
 
-    def test_rectangular_raises(self):
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_rectangular_raises(self, impl):
         with pytest.raises(ShapeError):
-            static_symbolic_factorization(csc_from_dense(np.ones((2, 3))))
+            static_symbolic_factorization(
+                csc_from_dense(np.ones((2, 3))), impl=impl
+            )
 
     def test_simulate_rejects_bad_pivot_choice(self):
         a = prepared(6, 6)
         with pytest.raises(PatternError):
             simulate_elimination_fill(a, lambda k, cand: -1)
 
-    def test_empty_matrix(self):
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_empty_matrix(self, impl):
         a = csc_from_dense(np.zeros((0, 0)))
-        fill = static_symbolic_factorization(a)
+        fill = static_symbolic_factorization(a, impl=impl)
         assert fill.nnz == 0
