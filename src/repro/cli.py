@@ -20,6 +20,11 @@ Commands
                compression, optionally writing the ``repro.bench``
                artifact (``$REPRO_SYMBOLIC`` selects the production
                implementation elsewhere; the bench always runs both).
+``solve-bench`` time the supernodal block solve engine against the
+               scalar reference triangular solves on a multi-column RHS,
+               optionally writing the ``repro.bench`` artifact
+               (``$REPRO_SOLVE`` selects the production implementation
+               elsewhere; the bench always runs both).
 """
 
 from __future__ import annotations
@@ -320,6 +325,47 @@ def cmd_symbolic_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_solve_bench(args: argparse.Namespace) -> int:
+    from repro.numeric.bench import run_solve_benchmark, summary_rows
+    from repro.obs.export import bench_document, validate_bench_document, write_json
+    from repro.obs.trace import Tracer
+
+    if args.quick:
+        scales, repeats, n_rhs = (0.05, 0.1), 1, 4
+    else:
+        scales = tuple(float(s) for s in args.scales.split(","))
+        repeats, n_rhs = args.repeats, args.n_rhs
+    tracer = Tracer()
+    data = run_solve_benchmark(
+        scales=scales,
+        matrix=args.matrix,
+        repeats=repeats,
+        n_rhs=n_rhs,
+        tracer=tracer,
+    )
+    text = format_table(
+        ["quantity", "value"],
+        summary_rows(data),
+        title=f"solve-bench: {data['matrix']} @ scales {list(scales)}",
+    )
+    if args.json:
+        doc = bench_document(
+            "bench_solve",
+            text=text,
+            data=data,
+            meta={"benchmark": "solve-bench", "quick": bool(args.quick)},
+        )
+        errors = validate_bench_document(doc)
+        if errors:  # defensive: bench_document should always emit valid docs
+            for e in errors:
+                print(f"bench schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"benchmark artifact written to {args.json}")
+    print(text)
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     a = paper_matrix(args.name, scale=args.scale)
     write_matrix_market(a, args.output)
@@ -416,6 +462,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the repro.bench JSON artifact"
     )
     p.set_defaults(func=cmd_symbolic_bench)
+
+    p = sub.add_parser(
+        "solve-bench",
+        help="block-vs-scalar benchmark of the triangular solve phase",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI-friendly)"
+    )
+    p.add_argument(
+        "--scales",
+        default="0.25,0.5,1.0",
+        help="comma-separated analog size factors (largest pins the bar)",
+    )
+    p.add_argument("--matrix", default="sherman3", help="generator matrix")
+    p.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per impl (best kept)"
+    )
+    p.add_argument(
+        "--n-rhs", type=int, default=16, help="right-hand-side columns"
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the repro.bench JSON artifact"
+    )
+    p.set_defaults(func=cmd_solve_bench)
 
     p = sub.add_parser("generate", help="write an analog to a .mtx file")
     p.add_argument("name", choices=sorted(PAPER_MATRICES))

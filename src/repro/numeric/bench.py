@@ -1,0 +1,154 @@
+"""Block-vs-scalar benchmark of the triangular solve phase.
+
+Times :meth:`FactorResult.solve` both ways on the same computed factors —
+the scalar reference path (one per-column Python loop over the CSC
+factors) against the supernodal block engine (one gather + GEMM pair per
+block column, level-scheduled; see :mod:`repro.numeric.supersolve`) — on
+the paper-scale generator matrices with a multi-column right-hand side.
+Factorization time is shared, untimed preparation: the factors are
+identical in both paths and would only dilute the comparison.
+
+Used by ``repro solve-bench`` and ``benchmarks/bench_solve.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.numeric.solver import SparseLUSolver
+from repro.obs.trace import Tracer
+from repro.sparse.generators import paper_matrix
+
+#: The acceptance bar pinned by benchmarks/bench_solve.py at the largest
+#: benched size.
+MIN_SOLVE_SPEEDUP = 3.0
+
+DEFAULT_SCALES = (0.25, 0.5, 1.0)
+DEFAULT_N_RHS = 16
+
+
+def _prepare(matrix: str, scale: float) -> SparseLUSolver:
+    """Analyzed + factorized solver with the factors retained in panel form.
+
+    ``retain_blocks=True`` is explicit so a ``REPRO_SOLVE=reference``
+    environment cannot silently turn the block timings into a second
+    scalar run.
+    """
+    a = paper_matrix(matrix, scale=scale)
+    solver = SparseLUSolver(a)
+    solver.analyze().factorize(retain_blocks=True)
+    return solver
+
+
+def _time_solve(
+    solver: SparseLUSolver, b: np.ndarray, impl: str, repeats: int
+) -> tuple[float, np.ndarray]:
+    """Best-of-``repeats`` wall time of one full ``solve(b)``."""
+    best = float("inf")
+    x = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        x = solver.solve(b, impl=impl)
+        best = min(best, time.perf_counter() - t0)
+    return best, x
+
+
+def run_solve_benchmark(
+    *,
+    scales: Sequence[float] = DEFAULT_SCALES,
+    matrix: str = "sherman3",
+    repeats: int = 3,
+    n_rhs: int = DEFAULT_N_RHS,
+    tracer: Optional[Tracer] = None,
+) -> dict:
+    """Block-vs-reference solve timings; returns the result document's
+    ``data``.
+
+    Each scale factorizes once (untimed, block panels retained), then
+    times both solve implementations on the identical right-hand side
+    (best-of-``repeats``) and cross-checks that the solutions agree to
+    1e-12 relative — the benchmark doubles as an end-to-end equivalence
+    check on real generator matrices.
+    """
+    if not scales:
+        raise ValueError("at least one scale is required")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if n_rhs < 1:
+        raise ValueError("n_rhs must be >= 1")
+    tr = tracer if tracer is not None else Tracer(enabled=False)
+    scales = sorted(float(s) for s in scales)
+    rng = np.random.default_rng(0)
+    rows = []
+    with tr.span("solve_bench", matrix=matrix, repeats=repeats, n_rhs=n_rhs):
+        # Untimed warm-up so first-touch allocator costs stay out of the
+        # smallest scale's timings.
+        warm = _prepare(matrix, min(scales) / 2)
+        _time_solve(warm, np.ones((warm.a.n_cols, n_rhs)), "block", 1)
+        for scale in scales:
+            with tr.span("solve_bench.scale", scale=scale):
+                solver = _prepare(matrix, scale)
+                n = solver.a.n_cols
+                b = rng.standard_normal((n, n_rhs))
+                ref_s, x_ref = _time_solve(solver, b, "reference", repeats)
+                blk_s, x_blk = _time_solve(solver, b, "block", repeats)
+            scale_ref = float(np.max(np.abs(x_ref))) or 1.0
+            rel_err = float(np.max(np.abs(x_blk - x_ref))) / scale_ref
+            if rel_err > 1e-12:
+                raise AssertionError(
+                    f"block and reference solves disagree at scale {scale}: "
+                    f"relative error {rel_err:.3e} > 1e-12"
+                )
+            sched = solver.result.blocks.schedule
+            rows.append(
+                {
+                    "scale": scale,
+                    "n": n,
+                    "n_rhs": n_rhs,
+                    "n_blocks": solver.result.blocks.n_blocks,
+                    "n_fwd_levels": sched.n_fwd_levels,
+                    "n_bwd_levels": sched.n_bwd_levels,
+                    "static_covered": bool(solver.result.blocks.static_covered),
+                    "reference_s": ref_s,
+                    "block_s": blk_s,
+                    "speedup": ref_s / blk_s if blk_s > 0 else 0.0,
+                    "rel_err": rel_err,
+                }
+            )
+    largest = rows[-1]
+    return {
+        "matrix": matrix,
+        "repeats": repeats,
+        "n_rhs": n_rhs,
+        "pipeline": rows,
+        "largest": {"scale": largest["scale"], "speedup": largest["speedup"]},
+        "min_speedup_required": MIN_SOLVE_SPEEDUP,
+        "agrees": True,
+    }
+
+
+def summary_rows(data: dict) -> list:
+    """``(quantity, value)`` rows for the terminal table."""
+    out = []
+    for row in data["pipeline"]:
+        out.append(
+            (
+                f"{data['matrix']} scale {row['scale']:g} "
+                f"(n={row['n']}, {row['n_rhs']} rhs)",
+                f"ref {row['reference_s'] * 1e3:.1f} ms / "
+                f"block {row['block_s'] * 1e3:.1f} ms = "
+                f"{row['speedup']:.2f}x",
+            )
+        )
+    out.append(
+        (
+            "largest-size speedup (required)",
+            f"{data['largest']['speedup']:.2f}x "
+            f"(>= {data['min_speedup_required']:g}x)",
+        )
+    )
+    out.append(("implementations agree", str(data["agrees"]).lower()))
+    return out

@@ -16,7 +16,7 @@ ancestor-ordering of updates is required.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -28,12 +28,16 @@ from repro.numeric.kernels import (
     solve_unit_lower,
     trsm_flops,
 )
+from repro.numeric.solve_dispatch import resolve_impl as resolve_solve_impl
 from repro.numeric.triangular import lower_unit_solve_csc, upper_solve_csc
 from repro.sparse.coo import COOBuilder
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.supernodes import BlockPattern
 from repro.taskgraph.tasks import Task, enumerate_tasks
 from repro.util.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (supersolve)
+    from repro.numeric.supersolve import BlockFactors
 
 
 @dataclass
@@ -73,14 +77,29 @@ class FactorResult:
 
     ``orig_at[i]`` is the original row of ``A`` living at pivoted position
     ``i``, i.e. ``(PA)[i, :] = A[orig_at[i], :]``.
+
+    ``blocks`` optionally carries the same factors in supernodal panel
+    form (:class:`repro.numeric.supersolve.BlockFactors`), produced by
+    ``extract(retain_blocks=True)`` and consumed by the block solve path.
     """
 
     l_factor: CSCMatrix
     u_factor: CSCMatrix
     orig_at: np.ndarray
+    blocks: "BlockFactors | None" = None
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` via ``L U x = P b`` (vector or multi-RHS)."""
+    def solve(self, b: np.ndarray, *, impl: "str | None" = None) -> np.ndarray:
+        """Solve ``A x = b`` via ``L U x = P b`` (vector or multi-RHS).
+
+        ``impl`` selects the solve engine (see
+        :mod:`repro.numeric.solve_dispatch`): ``"block"`` runs the
+        supernodal panel solves when block factors were retained (falling
+        back to the scalar path otherwise), ``"reference"`` always runs
+        the scalar CSC substitutions.
+        """
+        choice = resolve_solve_impl(impl)
+        if choice == "block" and self.blocks is not None:
+            return self.blocks.solve(b)
         b = np.asarray(b, dtype=np.float64)
         pb = b[self.orig_at]
         y = lower_unit_solve_csc(self.l_factor, pb)
@@ -105,36 +124,51 @@ class FactorResult:
     def slogdet(self) -> tuple[float, float]:
         """``(sign, log|det A|)`` from the factors (NumPy convention).
 
-        ``det(A) = det(Pᵀ) · det(L) · det(U) = sign(P) · Π u_ii``.
+        ``det(A) = det(Pᵀ) · det(L) · det(U) = sign(P) · Π u_ii``. Fully
+        vectorized: the U diagonal comes out of one mask over the CSC
+        arrays, and the permutation parity comes from a pointer-doubling
+        cycle count (``sign = (-1)^(n - #cycles)``) — no per-element
+        Python loop on either side.
         """
         n = self.orig_at.size
-        # Permutation parity by cycle counting.
-        seen = np.zeros(n, dtype=bool)
-        sign = 1.0
-        for start in range(n):
-            if seen[start]:
-                continue
-            length = 0
-            v = start
-            while not seen[v]:
-                seen[v] = True
-                v = int(self.orig_at[v])
-                length += 1
-            if length % 2 == 0:
-                sign = -sign
-        logdet = 0.0
-        for j in range(n):
-            d = self.u_factor.get(j, j)
-            if d == 0.0:
-                return 0.0, -np.inf
-            if d < 0:
-                sign = -sign
-            logdet += float(np.log(abs(d)))
+        u = self.u_factor
+        cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(u.indptr))
+        on_diag = u.indices == cols
+        if int(np.count_nonzero(on_diag)) != n:
+            return 0.0, -np.inf  # at least one structurally absent u_jj
+        dvals = u.data[on_diag]
+        if np.any(dvals == 0.0):
+            return 0.0, -np.inf
+        sign = _permutation_sign(self.orig_at)
+        if int(np.count_nonzero(dvals < 0.0)) % 2:
+            sign = -sign
+        logdet = float(np.sum(np.log(np.abs(dvals))))
         return sign, logdet
 
     def reconstruct_pa_dense(self) -> np.ndarray:
         """Dense ``L @ U`` (small-matrix tests only)."""
         return self.l_factor.to_dense() @ self.u_factor.to_dense()
+
+
+def _permutation_sign(perm: np.ndarray) -> float:
+    """Parity of a permutation array via pointer-doubling cycle counting.
+
+    ``rep`` converges to the minimum element of each cycle (after round
+    ``r`` it covers a window of ``2^r`` hops), so ``np.unique(rep).size``
+    is the cycle count and the parity is ``(-1)^(n - #cycles)`` —
+    O(n log n) total work with no Python-level cycle walk.
+    """
+    p = np.asarray(perm, dtype=np.int64)
+    n = p.size
+    rep = np.arange(n, dtype=np.int64)
+    hop = p.copy()
+    span = 1
+    while span < n:
+        rep = np.minimum(rep, rep[hop])
+        hop = hop[hop]
+        span *= 2
+    n_cycles = int(np.unique(rep).size)
+    return -1.0 if (n - n_cycles) % 2 else 1.0
 
 
 class LUFactorization:
@@ -385,13 +419,26 @@ class LUFactorization:
                 cur[pivoted[changed]] = moved
         return labels
 
-    def extract(self, *, drop_tol: float = 0.0) -> FactorResult:
+    def extract(
+        self,
+        *,
+        drop_tol: float = 0.0,
+        retain_blocks: bool = False,
+        solve_schedule=None,
+    ) -> FactorResult:
         """Assemble scalar CSC factors; entries with ``|v| <= drop_tol`` in
         padded positions are dropped (0.0 keeps everything nonzero).
 
         Assembly is whole-block vectorized (one ``nonzero`` scan per block
         instead of per-column Python loops); the COO builder sorts by
         (column, row), so the result is independent of emission order.
+
+        ``retain_blocks=True`` additionally keeps the factors in panel
+        form as a :class:`~repro.numeric.supersolve.BlockFactors` on the
+        result, enabling the supernodal block solve path.
+        ``solve_schedule`` optionally supplies a precomputed
+        :class:`~repro.taskgraph.solve_graph.SolveSchedule` (a cached plan
+        carries one); otherwise it is derived from the block pattern.
         """
         if len(self.sub_rows) != self.bp.n_blocks:
             missing = self.bp.n_blocks - len(self.sub_rows)
@@ -432,8 +479,16 @@ class LUFactorization:
                     rr, cc = np.nonzero(nz)
                 if rr.size:
                     ub.extend(int(starts[b]) + rr, gcol0 + cc, block[rr, cc])
+        blocks = None
+        if retain_blocks:
+            from repro.numeric.supersolve import BlockFactors
+
+            blocks = BlockFactors.from_engine(
+                self.data, l_labels, self.orig_at, schedule=solve_schedule
+            )
         return FactorResult(
             l_factor=lb.to_csc(),
             u_factor=ub.to_csc(),
             orig_at=self.orig_at.copy(),
+            blocks=blocks,
         )

@@ -1,0 +1,49 @@
+"""Reference/block implementation selection for the triangular solves.
+
+The solve phase (paper step (4)) ships two implementations:
+
+* ``"reference"`` — the scalar CSC substitution loops of
+  :mod:`repro.numeric.triangular`, kept as the readable oracle the
+  property tests compare against (and bit-for-bit the pre-supersolve
+  behavior);
+* ``"block"`` — the supernodal panel engine of
+  :mod:`repro.numeric.supersolve`: one dense TRSM + GEMM pair per
+  supernode over the retained block factors, level-scheduled by the
+  solve dependence graph.
+
+Selection order: an explicit ``impl=`` argument wins, then the
+``REPRO_SOLVE`` environment variable, then the default (``"block"``).
+The block path agrees with the reference to <= 1e-12 relative error
+(``tests/numeric/test_supersolve.py`` pins the bound); selecting
+``"reference"`` restores the scalar path exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable consulted when no explicit ``impl`` is passed.
+ENV_VAR = "REPRO_SOLVE"
+
+#: Recognized implementation names.
+IMPLEMENTATIONS = ("block", "reference")
+
+#: Used when neither the argument nor the environment selects one.
+DEFAULT_IMPL = "block"
+
+
+def resolve_impl(impl: str | None = None) -> str:
+    """Resolve the solve implementation to use.
+
+    ``impl`` (if not ``None``) overrides the ``REPRO_SOLVE`` environment
+    variable, which overrides the default. Raises :class:`ValueError` on an
+    unrecognized name so typos fail loudly instead of silently falling back.
+    """
+    choice = impl if impl is not None else os.environ.get(ENV_VAR) or DEFAULT_IMPL
+    if choice not in IMPLEMENTATIONS:
+        source = "impl argument" if impl is not None else f"${ENV_VAR}"
+        raise ValueError(
+            f"unknown solve implementation {choice!r} (from {source}); "
+            f"expected one of {IMPLEMENTATIONS}"
+        )
+    return choice

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.numeric.blockdata import BlockLayout
 from repro.numeric.factor import FactorResult, LUFactorization
+from repro.numeric.solve_dispatch import resolve_impl as resolve_solve_impl
 from repro.obs.trace import Tracer
 from repro.ordering.mindeg import minimum_degree_ata
 from repro.ordering.rcm import reverse_cuthill_mckee
@@ -286,6 +287,8 @@ class SparseLUSolver:
         self.n_btf_blocks: int = 0
         self.equil = None  # set by analyze() when options.equilibrate
         self._layout: Optional[BlockLayout] = None  # shared across refactorizations
+        self._solve_schedule = None  # SolveSchedule, shared like the layout
+        self._row_perm_inv: Optional[np.ndarray] = None  # cached argsort
         # Populated by factorize():
         self.result: Optional[FactorResult] = None
 
@@ -315,6 +318,8 @@ class SparseLUSolver:
         self.graph = art.graph
         self.n_btf_blocks = art.n_btf_blocks
         self._layout = None
+        self._solve_schedule = None
+        self._row_perm_inv = None
 
     def _prepare_source(self, a: CSCMatrix) -> CSCMatrix:
         """Apply (and record) equilibration when the options ask for it."""
@@ -332,6 +337,26 @@ class SparseLUSolver:
             assert self.bp is not None
             self._layout = BlockLayout(self.bp)
         return self._layout
+
+    def _ensure_solve_schedule(self):
+        """Static level schedule of the solve graph (cached like the layout,
+        and carried by frozen plans the same way)."""
+        if self._solve_schedule is None:
+            from repro.taskgraph.solve_graph import level_schedule
+
+            assert self.bp is not None
+            self._solve_schedule = level_schedule(self.bp)
+        return self._solve_schedule
+
+    def _row_perm_inverse(self) -> np.ndarray:
+        """Inverse of ``row_perm``, so the RHS permutation is one gather
+        (``b[inv]``) instead of an ``empty_like`` + scatter pair."""
+        if self._row_perm_inv is None:
+            assert self.row_perm is not None
+            inv = np.empty(self.row_perm.size, dtype=np.int64)
+            inv[self.row_perm] = np.arange(self.row_perm.size, dtype=np.int64)
+            self._row_perm_inv = inv
+        return self._row_perm_inv
 
     # ------------------------------------------------------------------
     def analyze(self) -> "SparseLUSolver":
@@ -377,6 +402,7 @@ class SparseLUSolver:
         with tr.span("adopt_plan", fingerprint=plan.fingerprint.digest):
             self._adopt_artifacts(plan.artifacts)
             self._layout = plan.layout
+            self._solve_schedule = plan.solve_schedule
             source = self._prepare_source(self.a)
             self.a_work = permute(
                 source, row_perm=self.row_perm, col_perm=self.col_perm
@@ -410,11 +436,17 @@ class SparseLUSolver:
         )
 
     # ------------------------------------------------------------------
-    def factorize(self, order=None) -> "SparseLUSolver":
+    def factorize(self, order=None, *, retain_blocks=None) -> "SparseLUSolver":
         """Numerical factorization (step (3)).
 
         ``order`` may be any topological order of the task graph; ``None``
         uses the right-looking sequential order.
+
+        ``retain_blocks`` controls whether the factors are additionally
+        kept in supernodal panel form for the block solve engine
+        (:mod:`repro.numeric.supersolve`); ``None`` retains them exactly
+        when the resolved solve implementation is ``"block"`` (see
+        :mod:`repro.numeric.solve_dispatch`).
 
         With detail tracing on, the numeric engine feeds per-kernel
         counters/histograms into ``tracer.metrics``, and the analyzed task
@@ -424,6 +456,8 @@ class SparseLUSolver:
         """
         if self.a_work is None or self.bp is None:
             raise ReproError("call analyze() first")
+        if retain_blocks is None:
+            retain_blocks = resolve_solve_impl() == "block"
         tr = self.tracer
         with tr.span("factorize") as s:
             engine = LUFactorization(
@@ -436,7 +470,12 @@ class SparseLUSolver:
                 engine.factor_sequential()
             else:
                 engine.run_order(order)
-            self.result = engine.extract()
+            self.result = engine.extract(
+                retain_blocks=retain_blocks,
+                solve_schedule=(
+                    self._ensure_solve_schedule() if retain_blocks else None
+                ),
+            )
             ls = engine.lazy_stats
             s.set(
                 n_tasks=len(engine.done),
@@ -467,7 +506,9 @@ class SparseLUSolver:
             )
             s.set(makespan=result.makespan, efficiency=result.efficiency)
 
-    def refactorize(self, a_new: CSCMatrix, order=None) -> "SparseLUSolver":
+    def refactorize(
+        self, a_new: CSCMatrix, order=None, *, retain_blocks=None
+    ) -> "SparseLUSolver":
         """Numeric factorization of *new values* on the same pattern.
 
         The static symbolic analysis depends only on the pattern, so a
@@ -489,6 +530,8 @@ class SparseLUSolver:
             )
         if not a_new.has_values:
             raise ShapeError("refactorize() requires values")
+        if retain_blocks is None:
+            retain_blocks = resolve_solve_impl() == "block"
         self.a = a_new
         tr = self.tracer
         with tr.span("refactorize"):
@@ -506,30 +549,57 @@ class SparseLUSolver:
                 engine.factor_sequential()
             else:
                 engine.run_order(order)
-            self.result = engine.extract()
+            self.result = engine.extract(
+                retain_blocks=retain_blocks,
+                solve_schedule=(
+                    self._ensure_solve_schedule() if retain_blocks else None
+                ),
+            )
         return self
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
+    def solve(self, b: np.ndarray, *, impl: Optional[str] = None) -> np.ndarray:
         """Solve ``A x = b`` using the computed factors (step (4)).
 
         ``b`` may be a vector of shape ``(n,)`` or a matrix of ``k``
-        right-hand sides of shape ``(n, k)``; the triangular solves are
-        blocked over all columns at once (no per-column Python loop), which
-        is what the serving layer's request batching relies on.
+        right-hand sides of shape ``(n, k)``; the triangular solves cover
+        all columns at once, which is what the serving layer's request
+        batching relies on.
+
+        ``impl`` selects the solve engine (``"block"`` — supernodal panel
+        solves over the retained block factors — or ``"reference"``, the
+        scalar CSC substitutions); it overrides ``$REPRO_SOLVE``, which
+        overrides the default (see :mod:`repro.numeric.solve_dispatch`).
+        The block path needs block factors: when the factorization did not
+        retain them, the solve falls back to the reference path.
         """
         if self.result is None:
             raise ReproError("call factorize() first")
         assert self.row_perm is not None and self.col_perm is not None
+        choice = resolve_solve_impl(impl)
+        use_block = choice == "block" and self.result.blocks is not None
+        impl_used = "block" if use_block else "reference"
         b = np.asarray(b, dtype=np.float64)
         n = self.a.n_cols
         if b.ndim not in (1, 2) or b.shape[0] != n:
             raise ShapeError(f"rhs has shape {b.shape}, expected ({n},) or ({n}, k)")
-        with self.tracer.span("solve", n_rhs=1 if b.ndim == 1 else b.shape[1]):
+        n_rhs = 1 if b.ndim == 1 else b.shape[1]
+        with self.tracer.span("solve", n_rhs=n_rhs, impl=impl_used):
+            if self.tracer.enabled:
+                self.tracer.metrics.histogram("solve.n_rhs", unit="cols").observe(
+                    n_rhs
+                )
             if self.equil is not None:
                 b = self.equil.scale_rhs(b)
-            b_work = np.empty_like(b)
-            b_work[self.row_perm] = b
-            x_work = self.result.solve(b_work)
+            b_work = b[self._row_perm_inverse()]
+            with self.tracer.span(f"solve.{impl_used}") as s:
+                x_work = self.result.solve(b_work, impl=impl_used)
+                if use_block:
+                    sched = self.result.blocks.schedule
+                    s.set(
+                        n_blocks=self.result.blocks.n_blocks,
+                        n_fwd_levels=sched.n_fwd_levels,
+                        n_bwd_levels=sched.n_bwd_levels,
+                    )
             x = x_work[self.col_perm]
             if self.equil is not None:
                 x = self.equil.unscale_solution(x)

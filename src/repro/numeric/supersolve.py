@@ -1,0 +1,336 @@
+"""Supernodal block triangular solves over retained panel factors.
+
+The scalar solves in :mod:`repro.numeric.triangular` walk the CSC factors
+one column at a time — O(n) interpreter iterations of tiny ``np.outer``
+work per solve. But the factorization already computed L and U in dense
+supernode panels; scattering them to scalar CSC only to re-walk them
+column-wise throws the block structure away exactly where the serving hot
+path needs it. :class:`BlockFactors` keeps the factors in panel form:
+
+* per supernode ``k``, the ``(w, w)`` diagonal block (unit-lower L and
+  upper U intertwined, as in the panel storage) plus its two precomputed
+  triangular inverses, so each per-block solve is one small GEMM;
+* per supernode ``k``, one fused *row-panel* matrix per solve direction:
+  all L blocks of block row ``k`` (resp. all U blocks of block row ``k``)
+  horizontally stacked, with one precomputed gather-index array mapping
+  panel columns to positions of the solution vector.
+
+A forward task is then ``y_k = L_kk^{-1} (b_k − Lrow_k · y[gather_k])`` —
+one gather, one GEMM, one ``(w, w)`` GEMM — and the backward task is the
+mirror image. Multi-RHS right-hand sides ride through the same GEMMs as
+genuine matrix width, which is what turns :class:`repro.serve.SolverService`
+batching into BLAS-3 work.
+
+Writing each task in this *gather* form (one fixed expression per target
+block, sources concatenated in ascending block order) rather than
+scattering partial updates makes the result bitwise independent of task
+interleaving: tasks write disjoint row ranges and read only finished
+ranges, so any topological order of the solve graph — including the
+threaded executor's — produces identical bits. The interleaving tests pin
+this, mirroring the factorization-side guarantee.
+
+The row structure of L depends on the pivots actually chosen: deferred
+pivoting renames multiplier rows, and a rename in a later block can move
+a row *across block boundaries*, outside the static block pattern of the
+source column. (U is immune — its row structure lives in position space
+and is fully static.) The build therefore checks, per L block, whether
+the final row labels stay inside the static structure: if they do, the
+precomputed static :class:`~repro.taskgraph.solve_graph.SolveSchedule`
+(cached on a :class:`repro.serve.SymbolicPlan`) is used as-is; if any
+block escapes, an exact schedule is rebuilt from the actual block
+dependence lists via
+:func:`~repro.taskgraph.solve_graph.schedule_from_structure` — one cheap
+graph pass over ~#stored-blocks edges, amortized over every solve
+against these factors. ``static_covered`` records which case occurred.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.blockdata import BlockColumnData
+from repro.numeric.kernels import solve_unit_lower, solve_upper
+from repro.taskgraph.solve_graph import SolveSchedule, schedule_from_structure
+from repro.util.errors import SchedulingError, ShapeError
+
+
+class BlockFactors:
+    """Panel-form factors of ``P A = L U``, ready for block solves.
+
+    Built by ``LUFactorization.extract(retain_blocks=True)``; everything is
+    an owned copy, so instances stay valid after the engine is dropped and
+    are safe to share read-only across threads.
+    """
+
+    __slots__ = (
+        "n",
+        "n_blocks",
+        "starts",
+        "orig_at",
+        "diag_linv",
+        "diag_uinv",
+        "fwd_mats",
+        "fwd_cols",
+        "bwd_mats",
+        "bwd_cols",
+        "schedule",
+        "static_covered",
+    )
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        starts: np.ndarray,
+        orig_at: np.ndarray,
+        diag_linv: list,
+        diag_uinv: list,
+        fwd_mats: list,
+        fwd_cols: list,
+        bwd_mats: list,
+        bwd_cols: list,
+        schedule: SolveSchedule,
+        static_covered: bool = True,
+    ) -> None:
+        self.n = n
+        self.n_blocks = len(diag_linv)
+        self.starts = starts
+        self.orig_at = orig_at
+        self.diag_linv = diag_linv
+        self.diag_uinv = diag_uinv
+        self.fwd_mats = fwd_mats
+        self.fwd_cols = fwd_cols
+        self.bwd_mats = bwd_mats
+        self.bwd_cols = bwd_cols
+        self.schedule = schedule
+        self.static_covered = static_covered
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_engine(
+        cls,
+        data: BlockColumnData,
+        l_labels: dict,
+        orig_at: np.ndarray,
+        schedule: "SolveSchedule | None" = None,
+    ) -> "BlockFactors":
+        """Assemble block factors from a completed factorization's storage.
+
+        ``l_labels`` is ``LUFactorization._final_l_labels()`` — the final
+        global row id of every candidate-panel position. The first ``w``
+        labels of block ``k`` are always the block's own rows (later pivot
+        renames only touch positions below finished diagonals), so the
+        diagonal block is the top ``(w, w)`` slice of the candidate panel
+        and the rows below it scatter into strictly later blocks.
+        """
+        layout = data.layout
+        n_blocks = data.n_blocks
+        starts = layout.starts
+        diag_linv: list = []
+        diag_uinv: list = []
+        fwd_parts: list = [[] for _ in range(n_blocks)]
+        fwd_srcs: list = [[] for _ in range(n_blocks)]
+        bwd_parts: list = [[] for _ in range(n_blocks)]
+        bwd_srcs: list = [[] for _ in range(n_blocks)]
+        static_covered = True
+        for k in range(n_blocks):
+            w = layout.width(k)
+            sub = data.sub_panel(k)
+            diag = sub[:w, :w]
+            eye = np.eye(w, dtype=np.float64)
+            # The substitution kernels read only their own triangle of the
+            # intertwined diagonal block; inverting against the identity
+            # once makes every later per-block solve a plain GEMM.
+            diag_linv.append(solve_unit_lower(diag, eye))
+            diag_uinv.append(solve_upper(diag, eye))
+
+            # L blocks of block *rows* below k: group the candidate-panel
+            # rows by the target block of their final label. All-zero
+            # groups are padding the elimination never touched (LazyS+) and
+            # are dropped — fewer gathered columns, identical bits.
+            labels_below = l_labels[k][w:]
+            if labels_below.size:
+                vals_below = sub[w:, :]
+                tb = layout.block_of_row[labels_below]
+                order = np.argsort(tb, kind="stable")
+                tb_sorted = tb[order]
+                bounds = np.flatnonzero(
+                    np.r_[True, tb_sorted[1:] != tb_sorted[:-1], True]
+                )
+                stored = layout.col_blocks[k]
+                for s, e in zip(bounds[:-1], bounds[1:]):
+                    t = int(tb_sorted[s])
+                    pos = order[s:e]
+                    block_vals = vals_below[pos, :]
+                    if not block_vals.any():
+                        continue
+                    # Is block (t, k) inside the static pattern? That is
+                    # what generates the FS(k) -> FS(t) edge of the static
+                    # solve graph; a pivot rename that moved rows here from
+                    # another block demands the exact schedule instead.
+                    i = int(np.searchsorted(stored, t))
+                    if i >= stored.size or int(stored[i]) != t:
+                        static_covered = False
+                    mat = np.zeros((layout.width(t), w), dtype=np.float64)
+                    mat[labels_below[pos] - starts[t], :] = block_vals
+                    fwd_parts[t].append(mat)
+                    fwd_srcs[t].append(k)
+
+            # U blocks of block row b < k stored in column k contribute to
+            # BS(b); their row structure is static (position space), so no
+            # label translation is needed. The backward dependence
+            # BS(k) -> BS(b) is in the static graph by construction.
+            panel_full = data.panels[k]
+            for bi, b in enumerate(layout.col_blocks[k]):
+                b = int(b)
+                if b >= k:
+                    break
+                off = int(layout.col_offsets[k][bi])
+                h = int(starts[b + 1] - starts[b])
+                block_vals = panel_full[off : off + h, :]
+                if not block_vals.any():
+                    continue
+                bwd_parts[b].append(block_vals.copy())
+                bwd_srcs[b].append(k)
+
+        fwd_mats, fwd_cols = _fuse(fwd_parts, fwd_srcs, starts, n_blocks)
+        bwd_mats, bwd_cols = _fuse(bwd_parts, bwd_srcs, starts, n_blocks)
+        if not static_covered or schedule is None:
+            # Pivot renames escaped the static structure (or no cached
+            # schedule was supplied): derive the exact value-dependent
+            # schedule from the actual per-block dependence lists.
+            schedule = schedule_from_structure(fwd_srcs, bwd_srcs)
+        oa = np.asarray(orig_at, dtype=np.int64).copy()
+        oa.setflags(write=False)
+        return cls(
+            n=data.n,
+            starts=starts,
+            orig_at=oa,
+            diag_linv=diag_linv,
+            diag_uinv=diag_uinv,
+            fwd_mats=fwd_mats,
+            fwd_cols=fwd_cols,
+            bwd_mats=bwd_mats,
+            bwd_cols=bwd_cols,
+            schedule=schedule,
+            static_covered=static_covered,
+        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray, *, n_threads: int = 1) -> np.ndarray:
+        """Solve ``A x = b`` via ``L U x = P b`` (vector or multi-RHS)."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim not in (1, 2) or b.shape[0] != self.n:
+            raise ShapeError(
+                f"rhs has shape {b.shape}, expected ({self.n},) or ({self.n}, k)"
+            )
+        x = self.solve_permuted(b[self.orig_at], n_threads=n_threads)
+        return x if b.ndim == 2 else x[:, 0]
+
+    def solve_permuted(
+        self,
+        pb: np.ndarray,
+        *,
+        n_threads: int = 1,
+        order=None,
+    ) -> np.ndarray:
+        """Solve ``L U x = pb`` for an already-permuted right-hand side.
+
+        ``order`` (tests only) runs an explicit task sequence — any
+        topological order of the solve graph — instead of the level
+        schedule; ``n_threads > 1`` runs the solve graph under the shared
+        threaded executor. All three paths produce identical bits.
+        """
+        pb = np.asarray(pb, dtype=np.float64)
+        y = np.array(pb if pb.ndim == 2 else pb[:, None], dtype=np.float64)
+        if order is not None:
+            if len(order) != 2 * self.n_blocks:
+                raise SchedulingError(
+                    f"solve order has {len(order)} tasks, expected "
+                    f"{2 * self.n_blocks}"
+                )
+            for task in order:
+                self._run_task(task, y)
+        elif n_threads > 1:
+            from repro.parallel.threads import threaded_factorize
+
+            engine = _SolveTaskAdapter(self, y)
+            threaded_factorize(engine, self.schedule.graph, n_threads)
+        else:
+            for level in self.schedule.fwd_levels:
+                for k in level:
+                    self._forward(int(k), y)
+            for level in self.schedule.bwd_levels:
+                for k in level:
+                    self._backward(int(k), y)
+        return y
+
+    def _run_task(self, task, y: np.ndarray) -> None:
+        if task.kind == "FS":
+            self._forward(task.k, y)
+        elif task.kind == "BS":
+            self._backward(task.k, y)
+        else:
+            raise SchedulingError(f"unknown solve task kind {task.kind!r}")
+
+    def _forward(self, k: int, y: np.ndarray) -> None:
+        lo = int(self.starts[k])
+        hi = int(self.starts[k + 1])
+        cols = self.fwd_cols[k]
+        rhs = y[lo:hi]
+        if cols.size:
+            rhs = rhs - self.fwd_mats[k] @ y[cols]
+        y[lo:hi] = self.diag_linv[k] @ rhs
+
+    def _backward(self, k: int, y: np.ndarray) -> None:
+        lo = int(self.starts[k])
+        hi = int(self.starts[k + 1])
+        cols = self.bwd_cols[k]
+        rhs = y[lo:hi]
+        if cols.size:
+            rhs = rhs - self.bwd_mats[k] @ y[cols]
+        y[lo:hi] = self.diag_uinv[k] @ rhs
+
+
+def _fuse(parts: list, srcs: list, starts: np.ndarray, n_blocks: int) -> tuple:
+    """Hstack each target's row-panel pieces; build the gather indices."""
+    mats: list = []
+    cols: list = []
+    empty = np.empty(0, dtype=np.int64)
+    for t in range(n_blocks):
+        if parts[t]:
+            mats.append(np.ascontiguousarray(np.hstack(parts[t])))
+            idx = np.concatenate(
+                [
+                    np.arange(starts[s], starts[s + 1], dtype=np.int64)
+                    for s in srcs[t]
+                ]
+            )
+            idx.setflags(write=False)
+            cols.append(idx)
+        else:
+            mats.append(np.zeros((int(starts[t + 1] - starts[t]), 0)))
+            cols.append(empty)
+    return mats, cols
+
+
+class _SolveTaskAdapter:
+    """Adapts :class:`BlockFactors` to the threaded executor's engine
+    contract (``run_task`` + a ``done`` set)."""
+
+    __slots__ = ("bf", "y", "done")
+
+    def __init__(self, bf: BlockFactors, y: np.ndarray) -> None:
+        self.bf = bf
+        self.y = y
+        self.done: set = set()
+
+    def run_task(self, task) -> None:
+        if task in self.done:
+            raise SchedulingError(f"solve task {task} executed twice")
+        self.bf._run_task(task, self.y)
+        self.done.add(task)

@@ -11,7 +11,7 @@ the sequential order).
 from __future__ import annotations
 
 import threading
-from queue import Queue
+from queue import Empty, Queue
 
 from repro.numeric.factor import LUFactorization
 from repro.taskgraph.dag import TaskGraph
@@ -53,6 +53,7 @@ def threaded_factorize(
     work: Queue = Queue()
     total = graph.n_tasks
     done_count = 0
+    aborted = False
     errors: list[BaseException] = []
     _SENTINEL = None
 
@@ -60,12 +61,28 @@ def threaded_factorize(
         if d == 0:
             work.put(t)
 
+    def drain() -> None:
+        # Discard queued-but-unstarted tasks so sentinels are the only
+        # thing left for peers to dequeue — no worker starts new numeric
+        # work after an abort, and the queue is empty once the pool joins.
+        while True:
+            try:
+                item = work.get_nowait()
+            except Empty:
+                return
+            if item is _SENTINEL:
+                work.put(_SENTINEL)  # keep peer wake-ups intact
+                return
+
     def worker() -> None:
-        nonlocal done_count
+        nonlocal done_count, aborted
         while True:
             task = work.get()
             if task is _SENTINEL:
                 return
+            with lock:
+                if aborted:
+                    continue  # swallow stale tasks until a sentinel arrives
             if depth_hist is not None:
                 depth_hist.observe(work.qsize())
             try:
@@ -73,7 +90,9 @@ def threaded_factorize(
             except BaseException as exc:  # propagate to caller
                 with lock:
                     errors.append(exc)
+                    aborted = True
                     done_count = total  # unblock everyone
+                drain()
                 for _ in range(n_threads):
                     work.put(_SENTINEL)
                 return
@@ -83,10 +102,11 @@ def threaded_factorize(
                 done_count += 1
                 finished = done_count >= total
                 released = []
-                for succ in graph.successors(task):
-                    n_preds[succ] -= 1
-                    if n_preds[succ] == 0:
-                        released.append(succ)
+                if not aborted:
+                    for succ in graph.successors(task):
+                        n_preds[succ] -= 1
+                        if n_preds[succ] == 0:
+                            released.append(succ)
             for succ in released:
                 work.put(succ)
             if finished:
@@ -99,6 +119,13 @@ def threaded_factorize(
     for th in threads:
         th.join()
     if errors:
+        # Leftover sentinels (and any task a peer enqueued during the
+        # abort window) must not outlive the pool.
+        while True:
+            try:
+                work.get_nowait()
+            except Empty:
+                break
         raise errors[0]
     if len(engine.done) != total:
         raise SchedulingError(

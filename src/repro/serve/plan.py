@@ -35,12 +35,20 @@ from repro.sparse.csc import CSCMatrix
 from repro.symbolic.static_fill import StaticFill
 from repro.symbolic.supernodes import BlockPattern, SupernodePartition
 from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.solve_graph import SolveSchedule, level_schedule
 
 
 def _frozen_copy(arr: np.ndarray, dtype) -> np.ndarray:
     out = np.ascontiguousarray(arr, dtype=dtype).copy()
     out.setflags(write=False)
     return out
+
+
+def _inverse_perm(perm: np.ndarray) -> np.ndarray:
+    inv = np.empty(perm.size, dtype=np.int64)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    inv.setflags(write=False)
+    return inv
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,14 @@ class SymbolicPlan:
     indices: np.ndarray  # entry-for-entry verification on cache hits
     artifacts: SymbolicArtifacts
     layout: BlockLayout
+    #: Static level schedule of the triangular solves, shared by every
+    #: numeric factorization against this plan (the block solve engine
+    #: swaps in an exact schedule only when pivot renames escape the
+    #: static structure — see repro.numeric.supersolve).
+    solve_schedule: "SolveSchedule | None" = None
+    #: Inverse of ``row_perm``, so the serving hot path permutes each RHS
+    #: with a single gather.
+    row_perm_inv: "np.ndarray | None" = None
 
     # ---- convenience views over the artifact bundle -------------------
     @property
@@ -130,6 +146,8 @@ def _assemble(
         indices=_frozen_copy(a.indices, np.int32),
         artifacts=art,
         layout=BlockLayout(art.bp),
+        solve_schedule=level_schedule(art.bp),
+        row_perm_inv=_inverse_perm(art.row_perm),
     )
 
 
@@ -179,5 +197,7 @@ def plan_from_solver(solver) -> SymbolicPlan:
         indices=_frozen_copy(solver.a.indices, np.int32),
         artifacts=art,
         layout=solver._ensure_layout(),
+        solve_schedule=solver._ensure_solve_schedule(),
+        row_perm_inv=_inverse_perm(solver.row_perm),
     )
     return plan

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.numeric.factor import FactorResult, LUFactorization
+from repro.numeric.solve_dispatch import resolve_impl as resolve_solve_impl
 from repro.obs.trace import Tracer
 from repro.serve.plan import SymbolicPlan
 from repro.sparse.csc import CSCMatrix
@@ -41,26 +42,47 @@ class NumericFactorization:
     a: CSCMatrix
     result: FactorResult
     equil: object = None  # Equilibration | None
+    tracer: Optional[Tracer] = None
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
+    def solve(self, b: np.ndarray, *, impl: Optional[str] = None) -> np.ndarray:
         """Solve ``A x = b`` for a vector ``(n,)`` or multi-RHS ``(n, k)``.
 
         Multi-RHS solves are blocked: one pass over each triangular factor
         covers all columns — the kernel the service's request batching
-        relies on.
+        relies on. ``impl`` overrides the ``$REPRO_SOLVE`` dispatch
+        (``"block"`` panel solves when the factors were retained in block
+        form, ``"reference"`` scalar CSC solves).
         """
         n = self.plan.n
         b = np.asarray(b, dtype=np.float64)
         if b.ndim not in (1, 2) or b.shape[0] != n:
             raise ShapeError(f"rhs has shape {b.shape}, expected ({n},) or ({n}, k)")
-        if self.equil is not None:
-            b = self.equil.scale_rhs(b)
-        b_work = np.empty_like(b)
-        b_work[self.plan.row_perm] = b
-        x_work = self.result.solve(b_work)
-        x = x_work[self.plan.col_perm]
-        if self.equil is not None:
-            x = self.equil.unscale_solution(x)
+        choice = resolve_solve_impl(impl)
+        use_block = choice == "block" and self.result.blocks is not None
+        impl_used = "block" if use_block else "reference"
+        n_rhs = 1 if b.ndim == 1 else int(b.shape[1])
+        tr = self.tracer if self.tracer is not None else Tracer(enabled=False)
+        with tr.span("solve", n=n, n_rhs=n_rhs, impl=impl_used):
+            if tr.enabled:
+                tr.metrics.histogram("solve.n_rhs", unit="cols").observe(n_rhs)
+            if self.equil is not None:
+                b = self.equil.scale_rhs(b)
+            row_perm_inv = self.plan.row_perm_inv
+            if row_perm_inv is None:
+                row_perm_inv = np.argsort(self.plan.row_perm, kind="stable")
+            b_work = b[row_perm_inv]
+            with tr.span(f"solve.{impl_used}") as s:
+                if use_block:
+                    sched = self.result.blocks.schedule
+                    s.set(
+                        n_blocks=sched.n_blocks,
+                        n_fwd_levels=sched.n_fwd_levels,
+                        n_bwd_levels=sched.n_bwd_levels,
+                    )
+                x_work = self.result.solve(b_work, impl=impl_used)
+            x = x_work[self.plan.col_perm]
+            if self.equil is not None:
+                x = self.equil.unscale_solution(x)
         return x
 
     def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
@@ -111,6 +133,12 @@ def refactorize_with_plan(
             layout=plan.layout,
         )
         engine.factor_sequential()
-        result = engine.extract()
+        retain = resolve_solve_impl() == "block"
+        result = engine.extract(
+            retain_blocks=retain,
+            solve_schedule=plan.solve_schedule if retain else None,
+        )
         s.set(n_tasks=len(engine.done))
-    return NumericFactorization(plan=plan, a=a, result=result, equil=equil)
+    return NumericFactorization(
+        plan=plan, a=a, result=result, equil=equil, tracer=tracer
+    )

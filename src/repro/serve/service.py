@@ -180,6 +180,9 @@ class SolverService:
         self._h_latency = self.metrics.histogram(
             "service.latency", unit="s", bounds=LATENCY_BOUNDS
         )
+        self._h_n_rhs = self.metrics.histogram(
+            "solve.n_rhs", unit="cols", bounds=BATCH_BOUNDS
+        )
 
         self._workers = [
             threading.Thread(
@@ -320,6 +323,7 @@ class SolverService:
             x = fac.solve(rhs)
             self._m_batches.inc()
             self._h_batch.observe(len(batch))
+            self._h_n_rhs.observe(rhs.shape[1])
             now = time.monotonic()
             col = 0
             for req in batch:

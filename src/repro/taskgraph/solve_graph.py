@@ -17,6 +17,8 @@ Tasks
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.symbolic.supernodes import BlockPattern
@@ -42,14 +44,135 @@ def build_solve_graph(bp: BlockPattern) -> TaskGraph:
         g.add_task(backward_task(k))
         g.add_edge(forward_task(k), backward_task(k))
     for i in range(n):
-        # Lower block (k, i) for k > i: row k of L uses y_i.
+        # Lower block (k, i) for k > i: row k of L uses y_i. The mirror
+        # anti-dependence FS(k) -> BS(i) keeps BS(i) from overwriting
+        # y_i with x_i while FS(k) still needs it — required for any
+        # executor that interleaves forward and backward tasks.
         col = bp.col_blocks(i)
         for k in col[col > i]:
             g.add_edge(forward_task(i), forward_task(int(k)))
+            g.add_edge(forward_task(int(k)), backward_task(i))
         # Upper block (i, j): row i of U uses x_j.
         for j in upper[i]:
             g.add_edge(backward_task(int(j)), backward_task(i))
     return g
+
+
+@dataclass(frozen=True)
+class SolveSchedule:
+    """Barrier-level schedule of one forward+backward solve.
+
+    Derived purely from the *static* block pattern, so it lives on a cached
+    :class:`repro.serve.SymbolicPlan` and is shared by every numeric
+    factorization with that pattern. Blocks inside one level have no
+    dependence on each other (levels come from the longest-path depths of
+    :func:`build_solve_graph`, and every edge strictly increases depth), so
+    a level's tasks may run in any order or concurrently.
+
+    Attributes
+    ----------
+    fwd_levels / bwd_levels:
+        Tuples of int64 arrays; level ``L``'s array holds the block ids
+        whose ``FS``/``BS`` task sits at depth ``L`` (ascending ids inside
+        a level, for a deterministic sequential order).
+    fwd_level / bwd_level:
+        Per-block depth arrays (``fwd_level[k]`` is FS(k)'s level), used to
+        validate that every actual data dependence of a computed factor is
+        covered by the static schedule.
+    graph:
+        The underlying task graph, for executors that want edge-level
+        (rather than barrier-level) concurrency.
+    """
+
+    fwd_levels: tuple
+    bwd_levels: tuple
+    fwd_level: np.ndarray
+    bwd_level: np.ndarray
+    graph: TaskGraph
+
+    @property
+    def n_blocks(self) -> int:
+        return self.fwd_level.size
+
+    @property
+    def n_fwd_levels(self) -> int:
+        return len(self.fwd_levels)
+
+    @property
+    def n_bwd_levels(self) -> int:
+        return len(self.bwd_levels)
+
+
+def _group_by_level(level_of: np.ndarray) -> tuple:
+    """Group block ids by level; ids ascend inside each group."""
+    order = np.argsort(level_of, kind="stable")
+    sorted_levels = level_of[order]
+    bounds = np.flatnonzero(
+        np.r_[True, sorted_levels[1:] != sorted_levels[:-1], True]
+    )
+    return tuple(
+        order[s:e].astype(np.int64) for s, e in zip(bounds[:-1], bounds[1:])
+    )
+
+
+def _schedule_from_graph(graph: TaskGraph, n: int) -> SolveSchedule:
+    depth = graph.levels()
+    fwd = np.fromiter(
+        (depth[forward_task(k)] for k in range(n)), dtype=np.int64, count=n
+    )
+    bwd = np.fromiter(
+        (depth[backward_task(k)] for k in range(n)), dtype=np.int64, count=n
+    )
+    fwd.setflags(write=False)
+    bwd.setflags(write=False)
+    return SolveSchedule(
+        fwd_levels=_group_by_level(fwd),
+        bwd_levels=_group_by_level(bwd),
+        fwd_level=fwd,
+        bwd_level=bwd,
+        graph=graph,
+    )
+
+
+def level_schedule(bp: BlockPattern) -> SolveSchedule:
+    """Level schedule of the static solve graph (the solve-phase analogue
+    of the factorization executors' topological orders).
+
+    Valid for any factorization whose L block structure stays inside the
+    static pattern. Deferred pivoting can rename multiplier rows across
+    block boundaries, in which case the solve needs the exact
+    value-dependent schedule from :func:`schedule_from_structure` — the
+    block solve engine checks and switches automatically.
+    """
+    graph = build_solve_graph(bp)
+    return _schedule_from_graph(graph, bp.n_blocks)
+
+
+def schedule_from_structure(fwd_srcs, bwd_srcs) -> SolveSchedule:
+    """Exact solve schedule from per-target source-block lists.
+
+    ``fwd_srcs[t]`` / ``bwd_srcs[t]`` list the block columns whose
+    ``FS``/``BS`` result block ``t``'s solve task actually reads — the
+    value-dependent dependence structure of one computed factorization
+    (as opposed to :func:`level_schedule`'s static upper bound for the
+    backward half and static *estimate* for the pivot-renamed forward
+    half).
+    """
+    n = len(fwd_srcs)
+    g = TaskGraph()
+    for k in range(n):
+        g.add_task(forward_task(k))
+        g.add_task(backward_task(k))
+        g.add_edge(forward_task(k), backward_task(k))
+    for t in range(n):
+        for s in fwd_srcs[t]:
+            # Flow dependence plus the FS(t) -> BS(s) anti-dependence
+            # (BS(s) overwrites y_s, which FS(t) gathers).
+            g.add_edge(forward_task(int(s)), forward_task(t))
+            g.add_edge(forward_task(t), backward_task(int(s)))
+        for s in bwd_srcs[t]:
+            g.add_edge(backward_task(int(s)), backward_task(t))
+    return _schedule_from_graph(g, n)
 
 
 def solve_task_flops(bp: BlockPattern) -> dict[Task, int]:

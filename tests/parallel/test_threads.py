@@ -75,3 +75,76 @@ class TestThreadedExecution:
         g.add_edge(factor_task(1), factor_task(0))
         with pytest.raises(SchedulingError):
             threaded_factorize(eng, g, n_threads=2)
+
+
+class _PoisonedEngine:
+    """Engine whose task ``poison`` raises; all other tasks count work.
+
+    The wide star graph (one root releasing many independent tasks) fills
+    the work queue, so a clean abort must discard queued tasks rather than
+    letting surviving workers chew through them.
+    """
+
+    def __init__(self, poison):
+        self.poison = poison
+        self.done = set()
+        self.executed_after_poison = 0
+        self.poisoned = False
+
+    def run_task(self, task):
+        if task == self.poison:
+            self.poisoned = True
+            raise RuntimeError("poisoned task")
+        if self.poisoned:
+            self.executed_after_poison += 1
+        self.done.add(task)
+
+
+class TestAbortHygiene:
+    def _star_graph(self, width=200):
+        g = TaskGraph()
+        root = factor_task(0)
+        g.add_task(root)
+        for i in range(1, width + 1):
+            g.add_edge(root, factor_task(i))
+        return g, root
+
+    def test_poisoned_task_aborts_promptly_and_drains_queue(self):
+        g, root = self._star_graph()
+        eng = _PoisonedEngine(poison=factor_task(1))
+        captured = {}
+
+        import repro.parallel.threads as threads_mod
+
+        orig_queue = threads_mod.Queue
+
+        class RecordingQueue(orig_queue):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                captured["queue"] = self
+
+        try:
+            threads_mod.Queue = RecordingQueue
+            with pytest.raises(RuntimeError, match="poisoned task"):
+                threaded_factorize(eng, g, n_threads=4)
+        finally:
+            threads_mod.Queue = orig_queue
+
+        # The queue must not outlive the pool: no leftover tasks *or*
+        # sentinels once the error has propagated.
+        assert captured["queue"].qsize() == 0
+        assert captured["queue"].empty()
+        # The abort was prompt: workers drained the ~200 queued siblings
+        # instead of executing them. A few may slip through between the
+        # poison raising and the abort flag being set; allow a small
+        # scheduling window but not bulk execution.
+        assert eng.executed_after_poison <= 25
+        assert len(eng.done) < g.n_tasks - 100
+
+    def test_poisoned_task_single_worker(self):
+        g, root = self._star_graph(width=50)
+        eng = _PoisonedEngine(poison=factor_task(1))
+        with pytest.raises(RuntimeError, match="poisoned task"):
+            threaded_factorize(eng, g, n_threads=1)
+        # Single worker: nothing can run after the poison at all.
+        assert eng.executed_after_poison == 0

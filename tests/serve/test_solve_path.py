@@ -1,0 +1,95 @@
+"""The serving hot path solves in block form — never the scalar loops.
+
+A warm :class:`SolverService` request (plan cached, factors retained in
+panel form) must run the supernodal block engine: the ``solve`` span
+carries ``impl="block"``, a ``solve.block`` child span is present, and no
+``solve.reference`` span opens anywhere. A companion test flips
+``REPRO_SOLVE=reference`` and asserts the scalar span *does* appear —
+proving the no-scalar assertion would catch a regression.
+"""
+
+import numpy as np
+
+from repro.obs.trace import Tracer
+from repro.serve.cache import PlanCache
+from repro.serve.plan import build_plan
+from repro.serve.refactor import refactorize_with_plan
+from repro.serve.service import SolverService
+from tests.conftest import random_pivot_matrix
+
+
+def _solve_spans(tracer):
+    return {s.name: s for s in tracer.walk() if s.name.startswith("solve")}
+
+
+class TestPlanCarriesSchedule:
+    def test_plan_has_solve_schedule_and_inverse_perm(self):
+        a = random_pivot_matrix(30, 0)
+        plan = build_plan(a)
+        assert plan.solve_schedule is not None
+        assert plan.solve_schedule.n_blocks == plan.bp.n_blocks
+        inv = plan.row_perm_inv
+        assert inv is not None
+        assert np.array_equal(plan.row_perm[inv], np.arange(a.n_cols))
+
+    def test_refactorization_retains_blocks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVE", raising=False)
+        a = random_pivot_matrix(30, 1)
+        plan = build_plan(a)
+        fac = refactorize_with_plan(plan, a)
+        assert fac.result.blocks is not None
+        # A covered factorization reuses the plan's static schedule object.
+        if fac.result.blocks.static_covered:
+            assert fac.result.blocks.schedule is plan.solve_schedule
+
+
+class TestWarmServiceSolvesInBlockForm:
+    def _run_request(self, tracer, n_rhs=3):
+        a = random_pivot_matrix(40, 2)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal((40, n_rhs))
+        with SolverService(n_workers=0, tracer=tracer) as svc:
+            # Warm the cache, then clear the trace so only the warm
+            # request's spans remain.
+            svc.solve(a, b)
+            tracer.roots.clear()
+            x = svc.solve(a, b)
+            stats = svc.stats()
+        assert stats["cache"]["hits"] >= 1
+        return x, a, b
+
+    def test_no_scalar_span_on_warm_request(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVE", raising=False)
+        tracer = Tracer()
+        x, a, b = self._run_request(tracer)
+        spans = _solve_spans(tracer)
+        assert "solve" in spans
+        assert spans["solve"].attrs["impl"] == "block"
+        assert spans["solve"].attrs["n_rhs"] == 3
+        assert "solve.block" in spans
+        assert spans["solve.block"].attrs["n_blocks"] > 0
+        assert "solve.reference" not in spans
+        # And the answer is still right.
+        fac = refactorize_with_plan(build_plan(a), a)
+        assert fac.residual_norm(x[:, 0], b[:, 0]) < 1e-8
+
+    def test_reference_env_reenters_scalar_path(self, monkeypatch):
+        # The detector works: forcing the reference impl makes the scalar
+        # span appear where the previous test asserts its absence.
+        monkeypatch.setenv("REPRO_SOLVE", "reference")
+        tracer = Tracer()
+        self._run_request(tracer)
+        spans = _solve_spans(tracer)
+        assert spans["solve"].attrs["impl"] == "reference"
+        assert "solve.reference" in spans
+        assert "solve.block" not in spans
+
+    def test_n_rhs_histogram_observed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVE", raising=False)
+        a = random_pivot_matrix(30, 3)
+        b = np.ones((30, 5))
+        with SolverService(n_workers=0, cache=PlanCache()) as svc:
+            svc.solve(a, b)
+            hist = svc.metrics.histogram("solve.n_rhs")
+        assert hist.count == 1
+        assert hist.total == 5
