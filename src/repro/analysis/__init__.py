@@ -1,0 +1,96 @@
+"""Static verification of schedules and symbolic structures (no numerics).
+
+The subsystem has four layers:
+
+* :mod:`repro.analysis.report` — :class:`Finding` / :class:`AnalysisReport`
+  and the versioned ``repro.analysis`` JSON schema with its validator.
+* :mod:`repro.analysis.structure` — invariant lints for CSC patterns,
+  eforests, postorders, supernode partitions, BTF decompositions, solve
+  schedules, and whole :class:`~repro.serve.plan.SymbolicPlan` bundles.
+* :mod:`repro.analysis.footprints` — static read/write sets of every task
+  kind over (region, scalar-row) pairs.
+* :mod:`repro.analysis.races` — DAG-reachability race checking, liveness
+  (deadlock) detection, and the Theorem-4 S*-vs-eforest minimality report.
+
+:mod:`repro.analysis.runner` composes them into :func:`analyze_plan` /
+:func:`analyze_matrix` (the ``repro analyze --verify`` CLI) and the
+``REPRO_ANALYZE=1`` debug hooks. See ``docs/analysis.md``.
+"""
+
+from repro.analysis.footprints import (
+    ORIG_AT_REGION,
+    TaskFootprint,
+    expected_factor_tasks,
+    expected_solve_tasks,
+    factor_footprints,
+    region_label,
+    solve_footprints,
+    solve_region_label,
+)
+from repro.analysis.races import (
+    Reachability,
+    check_liveness,
+    check_races,
+    minimality_report,
+)
+from repro.analysis.report import (
+    ANALYSIS_SCHEMA,
+    ANALYSIS_SCHEMA_VERSION,
+    AnalysisReport,
+    Finding,
+    SubjectReport,
+    validate_analysis_document,
+)
+from repro.analysis.runner import (
+    ENV_VAR,
+    analysis_enabled,
+    analyze_matrix,
+    analyze_plan,
+    suppress_hooks,
+    verify_plan,
+    verify_solve_schedule,
+)
+from repro.analysis.structure import (
+    check_btf,
+    check_csc,
+    check_forest,
+    check_partition,
+    check_plan,
+    check_postorder,
+    check_schedule,
+)
+
+__all__ = [
+    "ANALYSIS_SCHEMA",
+    "ANALYSIS_SCHEMA_VERSION",
+    "AnalysisReport",
+    "ENV_VAR",
+    "Finding",
+    "ORIG_AT_REGION",
+    "Reachability",
+    "SubjectReport",
+    "TaskFootprint",
+    "analysis_enabled",
+    "analyze_matrix",
+    "analyze_plan",
+    "check_btf",
+    "check_csc",
+    "check_forest",
+    "check_liveness",
+    "check_partition",
+    "check_plan",
+    "check_postorder",
+    "check_races",
+    "check_schedule",
+    "expected_factor_tasks",
+    "expected_solve_tasks",
+    "factor_footprints",
+    "minimality_report",
+    "region_label",
+    "solve_footprints",
+    "solve_region_label",
+    "suppress_hooks",
+    "validate_analysis_document",
+    "verify_plan",
+    "verify_solve_schedule",
+]

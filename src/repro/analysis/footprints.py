@@ -1,0 +1,256 @@
+"""Static read/write footprints of factorization and solve tasks.
+
+Every task of the 1-D block task model touches a set of *(region, scalar
+rows)* pairs; a region is a dense block-column panel (region id = block
+column), the shared pivot bookkeeping array ``orig_at``
+(:data:`ORIG_AT_REGION`), or — for the solve phase — one RHS block row.
+The race checker (:mod:`repro.analysis.races`) declares two tasks
+conflicting when one writes a (region, row) the other reads or writes;
+:func:`repro.analysis.races.check_races` then demands DAG ordering for
+every such pair.
+
+Soundness
+---------
+The footprints are *static overapproximations* of the accesses
+:class:`repro.numeric.factor.LUFactorization` actually performs, for any
+pivot sequence. The engine's dynamic behaviour is value-dependent (pivot
+renames, the LazyS+ zero-block skip, the GEMM ``active``-row filter), so
+the model leans on the George-Ng containment property: the static fill
+``Ā`` contains the nonzeros of ``PA = LU`` for every partial-pivoting
+``P``, and structural zeros are *exact* floating-point zeros (they are
+never produced by cancellation — every contributing term is zero). Hence
+at any point of any execution, a nonzero value in panel ``k`` sits in a
+row with a stored ``Ā`` entry in one of supernode ``k``'s columns. The
+task footprints follow:
+
+``F(k)``
+    Reads and writes the whole candidate sub-panel (stored rows
+    ``≥ starts[k]`` of panel ``k`` — the pivot search scans padded rows
+    too). Reads/writes ``orig_at`` at the *fill-supported* rows of
+    supernode ``k``: pivot renames only ever move value-nonzero rows, and
+    value-nonzero ⊆ fill-supported.
+``U(k, j)``
+    Reads the whole sub-panel of ``k`` (multipliers, including padding).
+    In panel ``j`` it reads and writes the fill-supported rows of
+    supernode ``k`` that panel ``j`` stores: the TRSM writes all of block
+    ``(k, j)`` (supernode ``k``'s row range is fill-supported — diagonals
+    are always stored in ``Ā``), the GEMM writes the ``active`` subset of
+    the below-diagonal stored rows (value-nonzero ⊆ fill-supported; the
+    engine skips padded rows precisely so independent-subtree updates
+    never touch each other's rows), and the rename scatter moves
+    value-nonzero rows only.
+``FS(k)`` / ``BS(k)``
+    RHS block-row granularity: ``FS(k)`` writes ``y_k`` and reads ``y_i``
+    for every stored lower block ``B̄(k, i)``; ``BS(k)`` overwrites the
+    same storage with ``x_k`` (the anti-dependence) and reads ``x_j`` for
+    every stored upper block ``B̄(k, j)``.
+
+Tightness matters as much as soundness: modelling the GEMM write set as
+*all* stored below-diagonal rows (padding included) would flag
+write/write conflicts between independent-subtree updates that the
+engine's active-row filter provably avoids — spurious races on every
+amalgamated matrix. Fill-supported rows are exactly the set the paper's
+Theorem 4 ancestor chains serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.symbolic.static_fill import StaticFill
+from repro.symbolic.supernodes import BlockPattern
+from repro.taskgraph.tasks import Task, _upper_blocks_by_source, enumerate_tasks
+from repro.taskgraph.solve_graph import backward_task, forward_task
+
+IntArray = npt.NDArray[np.int64]
+
+#: Region id of the shared ``orig_at`` pivot bookkeeping array (block-column
+#: panels use their own non-negative block index as region id).
+ORIG_AT_REGION = -1
+
+_EMPTY: IntArray = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class TaskFootprint:
+    """Sorted, unique scalar-row sets per region, split into reads/writes.
+
+    ``writes[r]`` ⊆ ``reads[r] ∪ writes[r]`` is not required — the race
+    checker treats a row as *accessed* when it appears in either map and
+    as *written* when it appears in ``writes``.
+    """
+
+    reads: Dict[int, IntArray] = field(default_factory=dict)
+    writes: Dict[int, IntArray] = field(default_factory=dict)
+    # Memoized read∪write per region: the race checker queries each
+    # (task, region) access set once per conflicting pair, and the union
+    # is the inner-loop cost on paper-scale matrices.
+    _accessed: Dict[int, IntArray] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def regions(self) -> set[int]:
+        return set(self.reads) | set(self.writes)
+
+    def written(self, region: int) -> IntArray:
+        return self.writes.get(region, _EMPTY)
+
+    def accessed(self, region: int) -> IntArray:
+        hit = self._accessed.get(region)
+        if hit is not None:
+            return hit
+        r = self.reads.get(region, _EMPTY)
+        w = self.writes.get(region, _EMPTY)
+        if not r.size:
+            out = w
+        elif not w.size:
+            out = r
+        else:
+            out = np.union1d(r, w)
+        self._accessed[region] = out
+        return out
+
+
+def region_label(region: int) -> str:
+    """Display name of a factorization region id."""
+    return "orig_at" if region == ORIG_AT_REGION else f"panel {region}"
+
+
+def solve_region_label(region: int) -> str:
+    """Display name of a solve-phase region id (RHS block rows)."""
+    return f"rhs block {region}"
+
+
+def _frozen(arr: np.ndarray) -> IntArray:
+    out = np.asarray(arr, dtype=np.int64)
+    out.setflags(write=False)
+    return out
+
+
+def stored_rows(bp: BlockPattern, j: int) -> IntArray:
+    """Global row ids stored by panel ``j``, ascending (padding included)."""
+    starts = bp.partition.starts
+    blocks = bp.col_blocks(j)
+    if not blocks.size:
+        return _EMPTY
+    return np.concatenate(
+        [np.arange(starts[b], starts[b + 1], dtype=np.int64) for b in blocks]
+    )
+
+
+def candidate_rows(bp: BlockPattern, k: int) -> IntArray:
+    """Rows of the candidate sub-panel of ``k`` (stored rows ``≥ starts[k]``),
+    the region ``F(k)`` pivots over — :meth:`BlockLayout.sub_rows` without
+    the layout object."""
+    rows = stored_rows(bp, k)
+    return rows[rows >= bp.partition.starts[k]]
+
+
+def supported_rows(bp: BlockPattern, fill: StaticFill) -> list[IntArray]:
+    """Fill-supported rows per block column: sorted unique rows ``r ≥
+    starts[k]`` with a stored ``Ā`` entry in one of supernode ``k``'s
+    columns. Always contains the full diagonal range (diagonals are stored),
+    so this is also the TRSM write extent."""
+    starts = bp.partition.starts
+    out: list[IntArray] = []
+    for k in range(bp.n_blocks):
+        lo, hi = int(starts[k]), int(starts[k + 1])
+        cols = [fill.pattern.col_rows(c) for c in range(lo, hi)]
+        rows = np.unique(np.concatenate(cols)) if cols else _EMPTY
+        out.append(_frozen(rows[rows >= lo]))
+    return out
+
+
+def factor_footprints(
+    bp: BlockPattern, fill: StaticFill
+) -> dict[Task, TaskFootprint]:
+    """Footprints of every ``F``/``U`` task of ``bp`` (see module docstring)."""
+    if fill.n != bp.partition.n:
+        raise ValueError(
+            f"fill covers {fill.n} columns, partition covers {bp.partition.n}"
+        )
+    support = supported_rows(bp, fill)
+    stored = [stored_rows(bp, j) for j in range(bp.n_blocks)]
+    candidates = {
+        k: _frozen(stored[k][stored[k] >= bp.partition.starts[k]])
+        for k in range(bp.n_blocks)
+    }
+    out: dict[Task, TaskFootprint] = {}
+    upper = _upper_blocks_by_source(bp)
+    for k in range(bp.n_blocks):
+        sub = candidates[k]
+        out[Task("F", k, k)] = TaskFootprint(
+            reads={k: sub, ORIG_AT_REGION: support[k]},
+            writes={k: sub, ORIG_AT_REGION: support[k]},
+        )
+        for j in upper[k]:
+            touched = _frozen(
+                np.intersect1d(support[k], stored[j], assume_unique=True)
+            )
+            out[Task("U", k, j)] = TaskFootprint(
+                reads={k: sub, j: touched},
+                writes={j: touched},
+            )
+    return out
+
+
+def solve_footprints(bp: BlockPattern) -> dict[Task, TaskFootprint]:
+    """Footprints of every ``FS``/``BS`` task over RHS block-row regions.
+
+    Region ``i`` is the block-row slice of the right-hand-side storage that
+    holds ``b_i`` → ``y_i`` → ``x_i`` in turn; rows are block ids (one
+    element per region) since solve tasks own whole block rows.
+    """
+    n = bp.n_blocks
+    upper = _upper_blocks_by_source(bp)
+    lower: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        col = bp.col_blocks(i)
+        for k in col[col > i]:
+            lower[int(k)].append(i)
+    own = [_frozen(np.array([i], dtype=np.int64)) for i in range(n)]
+    out: dict[Task, TaskFootprint] = {}
+    for k in range(n):
+        out[forward_task(k)] = TaskFootprint(
+            reads={i: own[i] for i in lower[k]} | {k: own[k]},
+            writes={k: own[k]},
+        )
+        out[backward_task(k)] = TaskFootprint(
+            reads={int(j): own[int(j)] for j in upper[k]} | {k: own[k]},
+            writes={k: own[k]},
+        )
+    return out
+
+
+def footprint_stats(footprints: dict[Task, TaskFootprint]) -> dict[str, int]:
+    """Informational sizes for analysis reports."""
+    n_regions = len({r for fp in footprints.values() for r in fp.regions()})
+    n_rows = sum(
+        int(fp.accessed(r).size)
+        for fp in footprints.values()
+        for r in fp.regions()
+    )
+    return {
+        "n_tasks_with_footprints": len(footprints),
+        "n_regions": n_regions,
+        "n_footprint_rows": n_rows,
+    }
+
+
+def expected_factor_tasks(bp: BlockPattern) -> set[Task]:
+    """The complete task set of one factorization of ``bp``."""
+    return set(enumerate_tasks(bp))
+
+
+def expected_solve_tasks(n_blocks: int) -> set[Task]:
+    """The complete task set of one forward+backward solve."""
+    out: set[Task] = set()
+    for k in range(n_blocks):
+        out.add(forward_task(k))
+        out.add(backward_task(k))
+    return out

@@ -1,0 +1,247 @@
+"""Entry points that compose the checkers into full analysis runs.
+
+:func:`analyze_plan` is the one-stop verification of a frozen
+:class:`~repro.serve.plan.SymbolicPlan`: structure lints, factor-graph
+race/liveness checking, solve-graph race/liveness checking, and the
+S*-vs-eforest minimality report, grouped into per-aspect subjects of one
+:class:`~repro.analysis.report.AnalysisReport`. :func:`analyze_matrix`
+builds the plan first (symbolic pipeline only — no numerics anywhere in
+this subsystem).
+
+The ``REPRO_ANALYZE=1`` environment hook routes through
+:func:`analysis_enabled` / :func:`verify_plan` /
+:func:`verify_solve_schedule`: production call sites
+(:func:`repro.serve.plan.build_plan`,
+:func:`repro.taskgraph.solve_graph.schedule_from_structure`,
+:func:`repro.parallel.threads.threaded_factorize`) invoke them lazily and
+raise :class:`~repro.util.errors.AnalysisError` on any finding, under an
+``analysis.verify`` tracer span. :func:`suppress_hooks` exists so the
+analyzer itself (which builds plans) never recurses into the hook.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+from repro.analysis.footprints import (
+    expected_factor_tasks,
+    expected_solve_tasks,
+    factor_footprints,
+    footprint_stats,
+    solve_footprints,
+    solve_region_label,
+    TaskFootprint,
+    _frozen,
+)
+from repro.analysis.races import check_liveness, check_races, minimality_report
+from repro.analysis.report import AnalysisReport
+from repro.analysis.structure import check_plan, check_postorder, check_btf
+from repro.taskgraph.solve_graph import (
+    SolveSchedule,
+    backward_task,
+    forward_task,
+    level_schedule,
+)
+from repro.util.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids import cycles
+    from repro.obs.trace import Tracer
+    from repro.serve.plan import SymbolicPlan
+    from repro.sparse.csc import CSCMatrix
+    from repro.numeric.solver import SolverOptions
+
+ENV_VAR = "REPRO_ANALYZE"
+
+_hooks_suppressed = False
+
+
+def analysis_enabled() -> bool:
+    """True when the ``REPRO_ANALYZE`` debug hook should fire."""
+    if _hooks_suppressed:
+        return False
+    return os.environ.get(ENV_VAR, "").strip().lower() not in ("", "0", "false")
+
+
+@contextmanager
+def suppress_hooks() -> Iterator[None]:
+    """Disable the env hook inside the analyzer's own plan builds."""
+    global _hooks_suppressed
+    prev = _hooks_suppressed
+    _hooks_suppressed = True
+    try:
+        yield
+    finally:
+        _hooks_suppressed = prev
+
+
+def analyze_plan(plan: "SymbolicPlan", *, name: str = "plan") -> AnalysisReport:
+    """Statically verify every structure and schedule a plan ships.
+
+    Subjects (one per aspect, named ``{name}/{aspect}``):
+
+    * ``structure`` — :func:`~repro.analysis.structure.check_plan` plus the
+      eforest/postorder/BTF lints recomputed from the plan's fill.
+    * ``factor-graph`` — liveness and footprint races of the plan's task
+      graph against the enumerated F/U task set.
+    * ``solve-graph`` — liveness and races of the solve schedule's graph
+      over RHS block rows.
+    * ``minimality`` — the Theorem-4 report comparing a freshly built S*
+      graph against a freshly built eforest graph for the same pattern.
+    """
+    from repro.symbolic.eforest import lu_elimination_forest
+    from repro.symbolic.postorder import block_upper_triangular_blocks
+    from repro.taskgraph.eforest_graph import build_eforest_graph
+    from repro.taskgraph.sstar import build_sstar_graph
+    from repro.util.errors import ReproError
+
+    report = AnalysisReport(
+        meta={
+            "subject": name,
+            "n": plan.n,
+            "nnz": plan.nnz,
+            "nnz_filled": plan.nnz_filled,
+            "n_blocks": plan.bp.n_blocks,
+            "options": str(plan.options.symbolic_key()),
+        }
+    )
+
+    structure = report.subject(f"{name}/structure")
+    structure.extend(check_plan(plan))
+    parent = lu_elimination_forest(plan.fill)
+    if plan.options.postorder:
+        # The pipeline postordered the fill, so its eforest must be a
+        # valid postorder and induce a clean BTF decomposition.
+        post = check_postorder(parent)
+        structure.extend(post)
+        if not post:
+            try:
+                blocks = block_upper_triangular_blocks(parent)
+            except ReproError as exc:
+                from repro.analysis.report import Finding
+
+                structure.findings.append(
+                    Finding(check="btf.blocks_cover", message=str(exc))
+                )
+            else:
+                structure.extend(check_btf(plan.fill.pattern, blocks))
+                structure.stats["n_btf_blocks"] = len(blocks)
+    else:
+        from repro.analysis.structure import check_forest
+
+        structure.extend(check_forest(parent))
+    structure.stats["n_supernodes"] = plan.bp.n_blocks
+
+    factor = report.subject(f"{name}/factor-graph")
+    fps = factor_footprints(plan.bp, plan.fill)
+    factor.extend(check_liveness(plan.graph, expected_factor_tasks(plan.bp)))
+    races, stats = check_races(plan.graph, fps)
+    factor.extend(races)
+    factor.stats.update(stats)
+    factor.stats.update(footprint_stats(fps))
+    factor.stats["n_tasks"] = plan.graph.n_tasks
+    factor.stats["n_edges"] = plan.graph.n_edges
+
+    solve = report.subject(f"{name}/solve-graph")
+    schedule = plan.solve_schedule or level_schedule(plan.bp)
+    sfps = solve_footprints(plan.bp)
+    solve.extend(
+        check_liveness(schedule.graph, expected_solve_tasks(plan.bp.n_blocks))
+    )
+    races, stats = check_races(schedule.graph, sfps, label=solve_region_label)
+    solve.extend(races)
+    solve.stats.update(stats)
+    solve.stats["n_fwd_levels"] = schedule.n_fwd_levels
+    solve.stats["n_bwd_levels"] = schedule.n_bwd_levels
+
+    minimality = report.subject(f"{name}/minimality")
+    sstar = build_sstar_graph(plan.bp)
+    eforest = build_eforest_graph(plan.bp)
+    findings, stats = minimality_report(sstar, eforest, fps)
+    minimality.extend(findings)
+    minimality.stats.update(stats)
+    return report
+
+
+def analyze_matrix(
+    a: "CSCMatrix",
+    options: "Optional[SolverOptions]" = None,
+    *,
+    name: str = "matrix",
+    tracer: "Optional[Tracer]" = None,
+) -> AnalysisReport:
+    """Run the symbolic pipeline on ``a`` and analyze the resulting plan."""
+    from repro.serve.plan import build_plan
+
+    with suppress_hooks():  # the hook would re-verify the plan we build
+        plan = build_plan(a, options, tracer=tracer)
+    return analyze_plan(plan, name=name)
+
+
+def verify_plan(plan: "SymbolicPlan", *, tracer: "Optional[Tracer]" = None) -> None:
+    """Hook body for ``REPRO_ANALYZE=1``: analyze, raise on any finding."""
+    from repro.obs.trace import Tracer as _Tracer
+
+    tr = tracer if tracer is not None else _Tracer(enabled=False)
+    with tr.span("analysis.verify", subject="plan") as span:
+        with suppress_hooks():
+            report = analyze_plan(plan)
+        span.set(n_findings=report.n_findings, ok=report.ok)
+    if not report.ok:
+        raise AnalysisError(
+            f"static analysis found {report.n_findings} problem(s):\n"
+            + report.render()
+        )
+
+
+def _structure_footprints(
+    fwd_srcs: Sequence[Sequence[int]], bwd_srcs: Sequence[Sequence[int]]
+) -> dict:
+    """Solve footprints taken from explicit per-target source lists (the
+    value-dependent structure behind :func:`schedule_from_structure`)."""
+    import numpy as np
+
+    n = len(fwd_srcs)
+    own = [_frozen(np.array([i], dtype=np.int64)) for i in range(n)]
+    fps = {}
+    for t in range(n):
+        fps[forward_task(t)] = TaskFootprint(
+            reads={int(s): own[int(s)] for s in fwd_srcs[t]} | {t: own[t]},
+            writes={t: own[t]},
+        )
+        fps[backward_task(t)] = TaskFootprint(
+            reads={int(s): own[int(s)] for s in bwd_srcs[t]} | {t: own[t]},
+            writes={t: own[t]},
+        )
+    return fps
+
+
+def verify_solve_schedule(
+    schedule: SolveSchedule,
+    fwd_srcs: Optional[Sequence[Sequence[int]]] = None,
+    bwd_srcs: Optional[Sequence[Sequence[int]]] = None,
+) -> None:
+    """Hook body for ``REPRO_ANALYZE=1`` on schedule construction.
+
+    Checks barrier-level validity and liveness of the schedule's graph;
+    when the originating source lists are supplied, additionally re-derives
+    the footprints from them and race-checks the graph (catching a
+    schedule builder that dropped a dependence).
+    """
+    from repro.analysis.structure import check_schedule
+
+    findings = check_schedule(schedule)
+    findings += check_liveness(
+        schedule.graph, expected_solve_tasks(schedule.n_blocks)
+    )
+    if fwd_srcs is not None and bwd_srcs is not None:
+        fps = _structure_footprints(fwd_srcs, bwd_srcs)
+        races, _ = check_races(schedule.graph, fps, label=solve_region_label)
+        findings += races
+    if findings:
+        lines = "\n".join(str(f) for f in findings)
+        raise AnalysisError(
+            f"solve schedule failed static analysis ({len(findings)} finding(s)):\n"
+            + lines
+        )

@@ -4,7 +4,9 @@ Commands
 --------
 ``solve``      factor and solve ``A x = b`` from a Matrix Market /
                Rutherford-Boeing file (or a named synthetic analog).
-``analyze``    run the symbolic pipeline only and print the statistics.
+``analyze``    run the symbolic pipeline only and print the statistics
+               (``--verify``/``--json`` run the static race/deadlock
+               analyzer instead; ``all`` sweeps every Table-1 analog).
 ``bench``      run one registered experiment (``table1`` ... ``fig6``,
                ablations) and print its table.
 ``trace``      run the full pipeline with detail tracing and render the
@@ -106,9 +108,53 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze_verify(args: argparse.Namespace) -> int:
+    """``repro analyze --verify``: static race/deadlock/invariant analysis.
+
+    ``matrix`` may be ``all`` to sweep every Table-1 analog (the CI gate).
+    Exits nonzero on any finding.
+    """
+    import json
+
+    from repro.analysis import (
+        AnalysisReport,
+        analyze_matrix,
+        validate_analysis_document,
+    )
+    from repro.obs.export import write_json
+
+    names = sorted(PAPER_MATRICES) if args.matrix == "all" else [args.matrix]
+    combined = AnalysisReport(
+        meta={"subject": args.matrix, "scale": args.scale}
+    )
+    for nm in names:
+        a = _load_matrix(nm, args.scale)
+        report = analyze_matrix(a, _solver_options(args), name=nm)
+        combined.subjects.extend(report.subjects)
+        print(report.render())
+    doc = combined.as_dict()
+    errors = validate_analysis_document(doc)
+    if errors:  # defensive: analyze_* should always emit valid documents
+        for e in errors:
+            print(f"analysis schema error: {e}", file=sys.stderr)
+        return 1
+    if args.json:
+        write_json(args.json, doc)
+        print(f"analysis report written to {args.json}")
+    if not combined.ok:
+        print(
+            f"FAIL: static analysis found {combined.n_findings} problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.sparse.stats import matrix_stats
 
+    if args.verify or args.json:
+        return _cmd_analyze_verify(args)
     a = _load_matrix(args.matrix, args.scale)
     ms = matrix_stats(a)
     print(
@@ -395,6 +441,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--forest", action="store_true", help="render the (block) LU eforest"
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="static race/deadlock/invariant analysis; matrix may be 'all'",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the repro.analysis JSON report"
     )
     p.set_defaults(func=cmd_analyze)
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sparse.convert import csc_to_csr
 from repro.sparse.csc import CSCMatrix
 from repro.util.errors import ShapeError
 

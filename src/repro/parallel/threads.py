@@ -42,6 +42,23 @@ def threaded_factorize(
     if n_threads < 1:
         raise ValueError(f"n_threads must be >= 1, got {n_threads}")
     graph.validate()
+    from repro.analysis.runner import analysis_enabled
+
+    # REPRO_ANALYZE=1 debug hook: refuse to start a pool that would
+    # deadlock (missing tasks) or run tasks the engine does not expect.
+    # Guarded on ``bp``: solve-phase adapters drive this scheduler too.
+    if analysis_enabled() and hasattr(engine, "bp"):
+        from repro.analysis.footprints import expected_factor_tasks
+        from repro.analysis.races import check_liveness
+        from repro.util.errors import AnalysisError
+
+        findings = check_liveness(graph, expected_factor_tasks(engine.bp))
+        if findings:
+            lines = "\n".join(str(f) for f in findings)
+            raise AnalysisError(
+                f"task graph failed liveness analysis ({len(findings)} "
+                f"finding(s)):\n{lines}"
+            )
     if metrics is not None:
         metrics.gauge("threads.workers", unit="threads").set(n_threads)
         tasks_ctr = metrics.counter("threads.tasks_executed", unit="tasks")

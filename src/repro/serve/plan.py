@@ -169,7 +169,14 @@ def build_plan(
     tr = tracer if tracer is not None else Tracer(enabled=False)
     with tr.span("build_plan", n=a.n_cols, nnz=a.nnz, symbolic_impl=resolve_impl()):
         art = run_symbolic_pipeline(a.pattern_only(), opts, tr)
-    return _assemble(a, opts, art)
+    plan = _assemble(a, opts, art)
+    from repro.analysis.runner import analysis_enabled
+
+    if analysis_enabled():  # REPRO_ANALYZE=1 debug hook
+        from repro.analysis.runner import verify_plan
+
+        verify_plan(plan, tracer=tr)
+    return plan
 
 
 def plan_from_solver(solver) -> SymbolicPlan:

@@ -41,6 +41,19 @@ class TaskGraph:
         self._succ[src].append(dst)
         self._pred_count[dst] += 1
 
+    def remove_edge(self, src: Task, dst: Task) -> None:
+        """Remove dependence ``src -> dst``; error if absent.
+
+        Exists for the static analyzer's mutation tests (deleting a
+        Theorem-4 chain edge must surface as a race) — the production
+        builders only ever add edges.
+        """
+        if (src, dst) not in self._edge_set:
+            raise SchedulingError(f"no edge {src} -> {dst}")
+        self._edge_set.remove((src, dst))
+        self._succ[src].remove(dst)
+        self._pred_count[dst] -= 1
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -66,6 +79,9 @@ class TaskGraph:
 
     def has_edge(self, src: Task, dst: Task) -> bool:
         return (src, dst) in self._edge_set
+
+    def edges(self) -> list[tuple[Task, Task]]:
+        return sorted(self._edge_set)
 
     def has_path(self, src: Task, dst: Task) -> bool:
         """True when ``dst`` is reachable from ``src`` (DFS)."""

@@ -18,6 +18,7 @@ Tasks
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -148,7 +149,9 @@ def level_schedule(bp: BlockPattern) -> SolveSchedule:
     return _schedule_from_graph(graph, bp.n_blocks)
 
 
-def schedule_from_structure(fwd_srcs, bwd_srcs) -> SolveSchedule:
+def schedule_from_structure(
+    fwd_srcs: Sequence[Sequence[int]], bwd_srcs: Sequence[Sequence[int]]
+) -> SolveSchedule:
     """Exact solve schedule from per-target source-block lists.
 
     ``fwd_srcs[t]`` / ``bwd_srcs[t]`` list the block columns whose
@@ -172,7 +175,15 @@ def schedule_from_structure(fwd_srcs, bwd_srcs) -> SolveSchedule:
             g.add_edge(forward_task(t), backward_task(int(s)))
         for s in bwd_srcs[t]:
             g.add_edge(backward_task(int(s)), backward_task(t))
-    return _schedule_from_graph(g, n)
+    schedule = _schedule_from_graph(g, n)
+    # Imported lazily: repro.analysis builds on this module.
+    from repro.analysis.runner import analysis_enabled
+
+    if analysis_enabled():  # REPRO_ANALYZE=1 debug hook
+        from repro.analysis.runner import verify_solve_schedule
+
+        verify_solve_schedule(schedule, fwd_srcs, bwd_srcs)
+    return schedule
 
 
 def solve_task_flops(bp: BlockPattern) -> dict[Task, int]:

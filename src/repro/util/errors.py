@@ -36,6 +36,10 @@ class FormatError(ReproError, ValueError):
     """A matrix file is malformed or uses an unsupported format variant."""
 
 
+class AnalysisError(ReproError, ValueError):
+    """Static analysis found a race, deadlock, or broken invariant."""
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the :mod:`repro.serve` subsystem."""
 

@@ -3,8 +3,10 @@
 ``python -m repro selfcheck`` (or ``repro.verify.selfcheck()``) runs a
 condensed end-to-end verification — the handful of invariants that, when
 green, mean the install is healthy: George-Ng containment, Theorem 1-3
-checks, PA = LU under three executors, solve accuracy against the scalar
-reference, and a deterministic simulation. Runs in a few seconds.
+checks, the :mod:`repro.analysis` structural lints and full static
+race/deadlock analysis of the frozen plan, PA = LU under three executors,
+solve accuracy against the scalar reference, and a deterministic
+simulation. Runs in a few seconds.
 """
 
 from __future__ import annotations
@@ -133,6 +135,24 @@ def _run_checks(report: SelfCheckReport, n: int, seed: int) -> None:
         is_forest_permutation_topological(po.parent_before, po.perm),
     )
 
+    # Structural invariants are owned by repro.analysis.structure — the
+    # selfcheck delegates instead of re-implementing them.
+    from repro.analysis import check_csc, check_postorder
+    from repro.symbolic.eforest import lu_elimination_forest
+
+    csc_findings = check_csc(fill.pattern, name="Abar")
+    report.add(
+        "Abar pattern lints clean (analysis.structure)",
+        not csc_findings,
+        "; ".join(str(f) for f in csc_findings[:2]),
+    )
+    post_findings = check_postorder(lu_elimination_forest(solver.fill))
+    report.add(
+        "pipeline eforest is a postorder (analysis.structure)",
+        not post_findings,
+        "; ".join(str(f) for f in post_findings[:2]),
+    )
+
     ref = LUFactorization(solver.a_work, solver.bp)
     ref.factor_sequential()
     ref_l = ref.extract().l_factor.to_dense()
@@ -171,6 +191,16 @@ def _run_checks(report: SelfCheckReport, n: int, seed: int) -> None:
         "simulation deterministic",
         r1.makespan == r2.makespan,
         f"makespan {r1.makespan:.4f}s",
+    )
+
+    from repro.analysis import analyze_plan
+    from repro.serve.plan import plan_from_solver
+
+    analysis = analyze_plan(plan_from_solver(solver), name="selfcheck")
+    report.add(
+        "static analyzer finds no races or broken invariants",
+        analysis.ok,
+        f"{analysis.n_findings} finding(s) over {len(analysis.subjects)} subjects",
     )
 
     from repro.obs.export import validate_document

@@ -1,0 +1,120 @@
+"""Schema and report-container tests for repro.analysis.report."""
+
+import json
+
+from repro.analysis import (
+    ANALYSIS_SCHEMA,
+    ANALYSIS_SCHEMA_VERSION,
+    AnalysisReport,
+    Finding,
+    validate_analysis_document,
+)
+from repro.analysis.report import SubjectReport
+
+
+def make_report(with_finding=False) -> AnalysisReport:
+    report = AnalysisReport(meta={"subject": "unit", "scale": 0.1})
+    s = report.subject("unit/structure")
+    s.stats["n_checked"] = 3
+    if with_finding:
+        s.findings.append(
+            Finding(
+                check="forest.parent_monotone",
+                message="parent(3) = 1 violates parent(j) > j",
+                tasks=("F(3)",),
+                region="panel 3",
+                detail={"node": 3, "parent": 1},
+            )
+        )
+    return report
+
+
+class TestReportContainers:
+    def test_clean_report_is_ok(self):
+        report = make_report()
+        assert report.ok
+        assert report.n_findings == 0
+        assert "0 finding(s)" in report.render()
+
+    def test_findings_flip_ok(self):
+        report = make_report(with_finding=True)
+        assert not report.ok
+        assert report.n_findings == 1
+        assert "FAIL" in report.render()
+        assert "forest.parent_monotone" in report.render()
+
+    def test_subject_get_or_create(self):
+        report = AnalysisReport()
+        a = report.subject("x")
+        b = report.subject("x")
+        assert a is b
+        assert len(report.subjects) == 1
+
+    def test_finding_str_includes_context(self):
+        f = Finding(
+            check="race.unordered_pair",
+            message="tasks race",
+            tasks=("F(1)", "U(0,1)"),
+            region="panel 1",
+        )
+        text = str(f)
+        assert "race.unordered_pair" in text
+        assert "F(1)" in text and "panel 1" in text
+
+
+class TestSchemaValidation:
+    def test_clean_document_validates(self):
+        doc = make_report().as_dict()
+        assert validate_analysis_document(doc) == []
+        assert doc["schema"] == ANALYSIS_SCHEMA
+        assert doc["schema_version"] == ANALYSIS_SCHEMA_VERSION
+
+    def test_document_with_findings_validates(self):
+        doc = make_report(with_finding=True).as_dict()
+        assert validate_analysis_document(doc) == []
+        assert doc["ok"] is False
+
+    def test_document_is_json_round_trippable(self):
+        doc = make_report(with_finding=True).as_dict()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_wrong_schema_name(self):
+        doc = make_report().as_dict()
+        doc["schema"] = "repro.bench"
+        assert any("$.schema" in e for e in validate_analysis_document(doc))
+
+    def test_future_version_rejected(self):
+        doc = make_report().as_dict()
+        doc["schema_version"] = ANALYSIS_SCHEMA_VERSION + 1
+        assert any(
+            "$.schema_version" in e for e in validate_analysis_document(doc)
+        )
+
+    def test_ok_must_match_findings(self):
+        doc = make_report(with_finding=True).as_dict()
+        doc["ok"] = True
+        assert any("$.ok" in e for e in validate_analysis_document(doc))
+
+    def test_non_scalar_meta_rejected(self):
+        doc = make_report().as_dict()
+        doc["meta"]["options"] = ("mindeg", True)
+        assert any("$.meta" in e for e in validate_analysis_document(doc))
+
+    def test_finding_missing_keys_rejected(self):
+        doc = make_report(with_finding=True).as_dict()
+        del doc["subjects"][0]["findings"][0]["region"]
+        assert any("missing keys" in e for e in validate_analysis_document(doc))
+
+    def test_finding_bad_tasks_rejected(self):
+        doc = make_report(with_finding=True).as_dict()
+        doc["subjects"][0]["findings"][0]["tasks"] = [1, 2]
+        assert any(".tasks" in e for e in validate_analysis_document(doc))
+
+    def test_non_dict_document_rejected(self):
+        assert validate_analysis_document([1, 2]) != []
+
+    def test_subject_report_ok_property(self):
+        s = SubjectReport(name="x")
+        assert s.ok
+        s.findings.append(Finding(check="c", message="m"))
+        assert not s.ok

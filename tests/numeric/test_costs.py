@@ -1,10 +1,9 @@
 """Cost-model tests."""
 
-import pytest
 
 from tests.conftest import random_pivot_matrix
 from repro.numeric.costs import CostModel, task_comm_bytes, task_flops
-from repro.numeric.kernels import lu_panel_flops, update_flops
+from repro.numeric.kernels import lu_panel_flops
 from repro.numeric.solver import SparseLUSolver
 from repro.taskgraph.tasks import enumerate_tasks, factor_task
 

@@ -1,7 +1,6 @@
 """LazyS+-style zero-block elimination tests."""
 
 import numpy as np
-import pytest
 
 from tests.conftest import random_pivot_matrix
 from repro.numeric.factor import LUFactorization, LazyStats

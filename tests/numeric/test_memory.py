@@ -1,6 +1,5 @@
 """Memory-report tests."""
 
-import numpy as np
 
 from tests.conftest import random_pivot_matrix
 from repro.numeric.memory import memory_report

@@ -21,7 +21,7 @@ from repro.numeric.solve_dispatch import (
 )
 from repro.numeric.solver import SolverOptions, SparseLUSolver
 from repro.sparse.convert import csc_from_dense
-from repro.sparse.generators import paper_matrix, random_sparse
+from repro.sparse.generators import paper_matrix
 from repro.util.errors import ShapeError
 from tests.conftest import random_pivot_matrix, solve_pipeline
 

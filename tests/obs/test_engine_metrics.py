@@ -1,7 +1,6 @@
 """Engine metric wiring: the busy/idle accounting identity and agreement
 between the exported counters and the simulation's own result object."""
 
-import numpy as np
 import pytest
 
 from repro.numeric.solver import SparseLUSolver

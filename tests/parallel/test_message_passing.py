@@ -8,7 +8,6 @@ from repro.numeric.factor import LUFactorization
 from repro.numeric.solver import SolverOptions, SparseLUSolver
 from repro.parallel.mapping import cyclic_mapping, greedy_mapping
 from repro.parallel.message_passing import (
-    PanelMessage,
     ProcessEngine,
     message_passing_factorize,
 )

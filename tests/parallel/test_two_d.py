@@ -7,7 +7,6 @@ from tests.conftest import random_pivot_matrix
 from repro.numeric.solver import SparseLUSolver
 from repro.parallel.machine import MachineModel
 from repro.parallel.two_d import (
-    Task2D,
     build_2d_model,
     compare_1d_2d,
     grid_shape,

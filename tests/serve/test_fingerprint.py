@@ -1,6 +1,5 @@
 """Pattern fingerprint tests: determinism, sensitivity, value-blindness."""
 
-import numpy as np
 
 from repro.serve.fingerprint import fingerprint, values_digest
 from repro.sparse.coo import COOBuilder

@@ -1,6 +1,5 @@
 """SuperLU-style column-etree analysis tests (§3's comparison target)."""
 
-import numpy as np
 import pytest
 
 from repro.ordering.mindeg import minimum_degree_ata

@@ -5,7 +5,6 @@ pivoting row sequence. On tiny matrices we enumerate ALL pivot sequences
 exhaustively; on larger ones we sample random sequences.
 """
 
-import itertools
 
 import numpy as np
 import pytest

@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.ordering.transversal import zero_free_diagonal_permutation
-from repro.sparse.convert import csc_from_dense
 from repro.sparse.csc import CSCMatrix, INDEX_DTYPE
 from repro.sparse.generators import random_sparse
 from repro.sparse.ops import permute

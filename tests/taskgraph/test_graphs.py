@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.symbolic.supernodes import BlockPattern, SupernodePartition
-from repro.taskgraph.dag import TaskGraph
 from repro.taskgraph.eforest_graph import block_eforest, build_eforest_graph
 from repro.taskgraph.sstar import build_sstar_graph
 from repro.taskgraph.tasks import (

@@ -1,6 +1,5 @@
 """Transitive reduction and parallelism-metric tests."""
 
-import pytest
 
 from tests.conftest import random_pivot_matrix
 from repro.numeric.solver import SparseLUSolver

@@ -8,10 +8,13 @@ from repro.numeric.solver import SparseLUSolver
 from repro.parallel.machine import MachineModel
 from repro.parallel.mapping import cyclic_mapping
 from repro.parallel.simulate import simulate_solve_phase
+from repro.sparse.csc import CSCMatrix
 from repro.taskgraph.solve_graph import (
     backward_task,
     build_solve_graph,
     forward_task,
+    level_schedule,
+    schedule_from_structure,
     solve_task_flops,
 )
 
@@ -89,3 +92,72 @@ class TestSolveSimulation:
             simulate_solve_phase(
                 s.bp, MachineModel(n_procs=2), np.zeros(3, dtype=int)
             )
+
+
+class TestEdgeCases:
+    """Degenerate shapes: empty, single supernode, all-roots, one level."""
+
+    def test_empty_structure(self):
+        sched = schedule_from_structure([], [])
+        assert sched.n_blocks == 0
+        assert sched.graph.n_tasks == 0
+        assert all(len(lev) == 0 for lev in sched.fwd_levels)
+        assert all(len(lev) == 0 for lev in sched.bwd_levels)
+        from repro.analysis import check_schedule
+
+        assert check_schedule(sched) == []
+
+    def test_single_supernode(self):
+        # A dense matrix amalgamates into one supernode: the solve is two
+        # tasks joined by the phase edge, one level per phase.
+        dense = np.ones((4, 4)) + 4.0 * np.eye(4)
+        a = CSCMatrix(
+            4,
+            4,
+            np.arange(0, 17, 4),
+            np.tile(np.arange(4), 4),
+            dense.T.ravel(),
+        )
+        s = SparseLUSolver(a).analyze()
+        assert s.bp.n_blocks == 1
+        g = build_solve_graph(s.bp)
+        assert g.n_tasks == 2
+        assert g.has_edge(forward_task(0), backward_task(0))
+        sched = level_schedule(s.bp)
+        assert sched.n_fwd_levels == 1
+        assert sched.n_bwd_levels == 1
+
+    def test_diagonal_matrix_all_roots(self):
+        # A diagonal matrix's eforest is all roots: no cross-block edges,
+        # every solve task independent inside its phase.
+        n = 8
+        a = CSCMatrix(n, n, np.arange(n + 1), np.arange(n), 2.0 * np.ones(n))
+        s = SparseLUSolver(a).analyze()
+        g = build_solve_graph(s.bp)
+        nb = s.bp.n_blocks
+        # Only the FS(k) -> BS(k) phase edges survive.
+        assert g.n_edges == nb
+        for k in range(nb):
+            assert g.has_edge(forward_task(k), backward_task(k))
+        sched = level_schedule(s.bp)
+        assert sched.n_fwd_levels == 1
+        assert sched.n_bwd_levels == 1
+        x = s.factorize().solve(np.arange(1.0, n + 1))
+        assert np.allclose(x, np.arange(1.0, n + 1) / 2.0)
+
+    def test_one_level_schedule_runs_any_order(self):
+        # In a one-level phase every permutation of the level is valid:
+        # the analyzer must accept a reordered (still one-level) schedule.
+        import dataclasses
+
+        from repro.analysis import check_schedule
+
+        n = 6
+        a = CSCMatrix(n, n, np.arange(n + 1), np.arange(n), np.ones(n))
+        s = SparseLUSolver(a).analyze()
+        sched = level_schedule(s.bp)
+        assert sched.n_fwd_levels == 1
+        shuffled = dataclasses.replace(
+            sched, fwd_levels=(sched.fwd_levels[0][::-1].copy(),)
+        )
+        assert check_schedule(shuffled) == []

@@ -15,7 +15,6 @@ from repro.ordering.transversal import (
     zero_free_diagonal_permutation,
 )
 from repro.sparse.coo import COOBuilder
-from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import permute
 from repro.sparse.pattern import pattern_contains, pattern_equal
 from repro.symbolic.characterization import CompactFactorStorage
