@@ -30,6 +30,7 @@ from repro.analysis.footprints import (
 from repro.analysis.races import (
     Reachability,
     check_liveness,
+    check_message_protocol,
     check_races,
     minimality_report,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "check_csc",
     "check_forest",
     "check_liveness",
+    "check_message_protocol",
     "check_partition",
     "check_plan",
     "check_postorder",

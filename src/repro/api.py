@@ -91,12 +91,26 @@ class LUHandle:
         return self.solver.tracer
 
 
-def lu(a: CSCMatrix, *, trace: bool = False, plan=None, **options) -> LUHandle:
+def lu(
+    a: CSCMatrix,
+    *,
+    trace: bool = False,
+    plan=None,
+    engine: "str | None" = None,
+    n_workers: int = 4,
+    **options,
+) -> LUHandle:
     """Analyze and factorize ``a``; keyword args map to
     :class:`SolverOptions` (``ordering=``, ``postorder=``, ...).
 
     ``trace=True`` turns on detail tracing (see docs/observability.md);
     the resulting telemetry is available as ``handle.trace``.
+
+    ``engine=`` selects the numeric executor (``"sequential"``,
+    ``"threaded"``, or ``"proc"``); it overrides ``$REPRO_ENGINE``, which
+    overrides the sequential default (docs/parallel.md). ``n_workers``
+    sizes the parallel engines' pools; all engines produce bitwise
+    identical factors.
 
     ``plan=`` warm-starts from a cached :class:`repro.serve.SymbolicPlan`
     built for this pattern: the symbolic phase is skipped and the plan's
@@ -110,10 +124,10 @@ def lu(a: CSCMatrix, *, trace: bool = False, plan=None, **options) -> LUHandle:
                 f"option keywords {sorted(options)}"
             )
         solver = SparseLUSolver(a, plan.options, trace=trace)
-        solver.adopt_plan(plan).factorize()
+        solver.adopt_plan(plan).factorize(engine=engine, n_workers=n_workers)
         return LUHandle(solver=solver)
     solver = SparseLUSolver(a, SolverOptions(**options), trace=trace)
-    solver.analyze().factorize()
+    solver.analyze().factorize(engine=engine, n_workers=n_workers)
     return LUHandle(solver=solver)
 
 

@@ -412,6 +412,50 @@ def cmd_solve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_proc_bench(args: argparse.Namespace) -> int:
+    from repro.obs.export import bench_document, validate_bench_document, write_json
+    from repro.obs.trace import Tracer
+    from repro.parallel.bench import run_proc_benchmark, summary_rows
+
+    if args.quick:
+        scales, repeats = (0.05, 0.1), 1
+    else:
+        scales = tuple(float(s) for s in args.scales.split(","))
+        repeats = args.repeats
+    tracer = Tracer()
+    data = run_proc_benchmark(
+        scales=scales,
+        matrix=args.matrix,
+        repeats=repeats,
+        n_workers=args.workers,
+        tracer=tracer,
+    )
+    text = format_table(
+        ["quantity", "value"],
+        summary_rows(data),
+        title=(
+            f"proc-bench: {data['matrix']} @ scales {list(scales)}, "
+            f"{data['n_workers']} workers"
+        ),
+    )
+    if args.json:
+        doc = bench_document(
+            "bench_proc",
+            text=text,
+            data=data,
+            meta={"benchmark": "proc-bench", "quick": bool(args.quick)},
+        )
+        errors = validate_bench_document(doc)
+        if errors:  # defensive: bench_document should always emit valid docs
+            for e in errors:
+                print(f"bench schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"benchmark artifact written to {args.json}")
+    print(text)
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     a = paper_matrix(args.name, scale=args.scale)
     write_matrix_market(a, args.output)
@@ -540,6 +584,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the repro.bench JSON artifact"
     )
     p.set_defaults(func=cmd_solve_bench)
+
+    p = sub.add_parser(
+        "proc-bench",
+        help="proc-engine-vs-threaded benchmark of repeated factorization",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI-friendly)"
+    )
+    p.add_argument(
+        "--scales",
+        default="0.25,0.5,1.0",
+        help="comma-separated analog size factors (largest pins the bar)",
+    )
+    p.add_argument("--matrix", default="sherman3", help="generator matrix")
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed interleaved runs per engine (median kept)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count for both engines (threads and processes)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the repro.bench JSON artifact"
+    )
+    p.set_defaults(func=cmd_proc_bench)
 
     p = sub.add_parser("generate", help="write an analog to a .mtx file")
     p.add_argument("name", choices=sorted(PAPER_MATRICES))

@@ -436,11 +436,27 @@ class SparseLUSolver:
         )
 
     # ------------------------------------------------------------------
-    def factorize(self, order=None, *, retain_blocks=None) -> "SparseLUSolver":
+    def factorize(
+        self,
+        order=None,
+        *,
+        retain_blocks=None,
+        engine: Optional[str] = None,
+        n_workers: int = 4,
+    ) -> "SparseLUSolver":
         """Numerical factorization (step (3)).
 
         ``order`` may be any topological order of the task graph; ``None``
-        uses the right-looking sequential order.
+        uses the execution engine instead (see below).
+
+        ``engine`` selects the executor — ``"sequential"`` (default),
+        ``"threaded"``, or ``"proc"`` — with the dispatch precedence
+        ``engine=`` argument > ``$REPRO_ENGINE`` > default
+        (:mod:`repro.parallel.dispatch`). The parallel engines run the
+        task graph with ``n_workers`` threads/processes and produce
+        factors bitwise identical to the sequential order. ``order`` and
+        ``engine`` are mutually exclusive: an explicit order *is* a
+        schedule, replayed sequentially.
 
         ``retain_blocks`` controls whether the factors are additionally
         kept in supernodal panel form for the block solve engine
@@ -454,31 +470,42 @@ class SparseLUSolver:
         simulation (span ``simulate_schedule``) so the document carries the
         ``engine.*`` busy/idle/message metrics of the paper's platform.
         """
+        from repro.parallel.dispatch import resolve_engine, run_engine
+
         if self.a_work is None or self.bp is None:
             raise ReproError("call analyze() first")
+        if order is not None and engine is not None:
+            raise ValueError("pass either an explicit order or engine=, not both")
         if retain_blocks is None:
             retain_blocks = resolve_solve_impl() == "block"
         tr = self.tracer
         with tr.span("factorize") as s:
-            engine = LUFactorization(
+            eng = LUFactorization(
                 self.a_work,
                 self.bp,
                 metrics=tr.metrics if tr.detail else None,
                 layout=self._ensure_layout(),
             )
-            if order is None:
-                engine.factor_sequential()
+            if order is not None:
+                eng.run_order(order)
             else:
-                engine.run_order(order)
-            self.result = engine.extract(
+                run_engine(
+                    eng,
+                    self.graph,
+                    resolve_engine(engine),
+                    n_workers=n_workers,
+                    metrics=tr.metrics if tr.detail else None,
+                    tracer=tr,
+                )
+            self.result = eng.extract(
                 retain_blocks=retain_blocks,
                 solve_schedule=(
                     self._ensure_solve_schedule() if retain_blocks else None
                 ),
             )
-            ls = engine.lazy_stats
+            ls = eng.lazy_stats
             s.set(
-                n_tasks=len(engine.done),
+                n_tasks=len(eng.done),
                 n_updates_run=ls.n_updates_run,
                 n_updates_skipped=ls.n_updates_skipped,
                 flops_spent=ls.flops_spent,
@@ -507,7 +534,13 @@ class SparseLUSolver:
             s.set(makespan=result.makespan, efficiency=result.efficiency)
 
     def refactorize(
-        self, a_new: CSCMatrix, order=None, *, retain_blocks=None
+        self,
+        a_new: CSCMatrix,
+        order=None,
+        *,
+        retain_blocks=None,
+        engine: Optional[str] = None,
+        n_workers: int = 4,
     ) -> "SparseLUSolver":
         """Numeric factorization of *new values* on the same pattern.
 
@@ -518,7 +551,11 @@ class SparseLUSolver:
         exactly the pattern of the original matrix (values free, pivoting
         handled anew). The block layout from the first factorization is
         reused, so this path runs no symbolic or structural work at all.
+
+        ``engine``/``n_workers`` select the executor exactly as in
+        :meth:`factorize`.
         """
+        from repro.parallel.dispatch import resolve_engine, run_engine
         from repro.sparse.pattern import pattern_equal
 
         if self.bp is None or self.row_perm is None:
@@ -530,6 +567,8 @@ class SparseLUSolver:
             )
         if not a_new.has_values:
             raise ShapeError("refactorize() requires values")
+        if order is not None and engine is not None:
+            raise ValueError("pass either an explicit order or engine=, not both")
         if retain_blocks is None:
             retain_blocks = resolve_solve_impl() == "block"
         self.a = a_new
@@ -539,17 +578,24 @@ class SparseLUSolver:
             self.a_work = permute(
                 source, row_perm=self.row_perm, col_perm=self.col_perm
             )
-            engine = LUFactorization(
+            eng = LUFactorization(
                 self.a_work,
                 self.bp,
                 metrics=tr.metrics if tr.detail else None,
                 layout=self._ensure_layout(),
             )
-            if order is None:
-                engine.factor_sequential()
+            if order is not None:
+                eng.run_order(order)
             else:
-                engine.run_order(order)
-            self.result = engine.extract(
+                run_engine(
+                    eng,
+                    self.graph,
+                    resolve_engine(engine),
+                    n_workers=n_workers,
+                    metrics=tr.metrics if tr.detail else None,
+                    tracer=tr,
+                )
+            self.result = eng.extract(
                 retain_blocks=retain_blocks,
                 solve_schedule=(
                     self._ensure_solve_schedule() if retain_blocks else None

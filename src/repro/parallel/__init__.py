@@ -35,6 +35,18 @@ from repro.parallel.message_passing import (
     ProcessEngine,
     message_passing_factorize,
 )
+from repro.parallel.dispatch import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    resolve_engine,
+    run_engine,
+)
+from repro.parallel.procengine import (
+    ProcPool,
+    ProcStats,
+    SharedArena,
+    proc_factorize,
+)
 from repro.parallel.rapid import StaticSchedule, rapid_schedule
 from repro.parallel.threads import threaded_factorize
 from repro.parallel.two_d import (
@@ -63,8 +75,16 @@ __all__ = [
     "PanelMessage",
     "ProcessEngine",
     "message_passing_factorize",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ProcPool",
+    "ProcStats",
+    "SharedArena",
     "StaticSchedule",
+    "proc_factorize",
     "rapid_schedule",
+    "resolve_engine",
+    "run_engine",
     "threaded_factorize",
     "Task2D",
     "TwoDModel",

@@ -1,0 +1,99 @@
+"""Numeric engine selection: ``engine=`` arg > ``$REPRO_ENGINE`` > default.
+
+Mirrors the dispatch idiom of :mod:`repro.symbolic.dispatch` and
+:mod:`repro.numeric.solve_dispatch`: an explicit argument wins, an
+environment variable overrides the default, and an unknown name fails
+loudly with the valid choices. Three engines execute the factorization
+for real (the simulators in :mod:`repro.parallel.simulate` /
+:mod:`repro.parallel.dynamic` are *models*, not engines, and are not
+dispatchable here):
+
+``sequential``
+    The right-looking reference order in the calling thread. Default.
+``threaded``
+    :func:`repro.parallel.threads.threaded_factorize` — a GIL-sharing
+    thread pool over the task graph.
+``proc``
+    :func:`repro.parallel.procengine.proc_factorize` — worker processes
+    over a shared-memory arena with fan-both message scheduling.
+
+All three produce bitwise-identical factors (the race-free task graph
+makes every admissible schedule equivalent), so the choice is purely a
+performance/deployment decision — see docs/parallel.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.numeric.factor import LUFactorization
+from repro.taskgraph.dag import TaskGraph
+
+#: Environment override, weaker than an explicit ``engine=`` argument.
+ENV_VAR = "REPRO_ENGINE"
+
+#: Engine names accepted by :func:`resolve_engine`.
+ENGINES = ("sequential", "threaded", "proc")
+
+DEFAULT_ENGINE = "sequential"
+
+
+def resolve_engine(choice: "str | None" = None) -> str:
+    """Resolve the numeric engine name by the documented precedence.
+
+    ``choice`` (an explicit ``engine=`` argument) wins; otherwise
+    ``$REPRO_ENGINE``; otherwise ``"sequential"``. Unknown names raise
+    ``ValueError`` listing the valid engines.
+    """
+    picked = choice if choice is not None else os.environ.get(ENV_VAR)
+    if picked is None or picked == "":
+        return DEFAULT_ENGINE
+    if picked not in ENGINES:
+        source = "engine argument" if choice is not None else f"${ENV_VAR}"
+        raise ValueError(
+            f"unknown engine {picked!r} (from {source}); valid engines: "
+            + ", ".join(ENGINES)
+        )
+    return picked
+
+
+def run_engine(
+    engine: LUFactorization,
+    graph: "TaskGraph | None",
+    choice: str,
+    *,
+    n_workers: int = 4,
+    metrics=None,
+    tracer=None,
+    pool=None,
+):
+    """Drive one factorization on the already-resolved engine ``choice``.
+
+    ``graph`` may be ``None`` only for ``"sequential"`` (the parallel
+    engines schedule by the dependence graph). ``pool`` optionally supplies
+    a shared :class:`repro.parallel.procengine.ProcPool` for the ``proc``
+    engine — the serving layer passes one so concurrent serving threads
+    share a single process pool. Returns the proc engine's
+    :class:`~repro.parallel.procengine.ProcStats` or ``None``.
+    """
+    if choice == "sequential":
+        engine.factor_sequential()
+        return None
+    if graph is None:
+        raise ValueError(f"engine {choice!r} requires a task graph")
+    if choice == "threaded":
+        from repro.parallel.threads import threaded_factorize
+
+        threaded_factorize(engine, graph, n_threads=n_workers, metrics=metrics)
+        return None
+    if choice == "proc":
+        if pool is not None:
+            return pool.factorize(engine, graph, metrics=metrics, tracer=tracer)
+        from repro.parallel.procengine import proc_factorize
+
+        return proc_factorize(
+            engine, graph, n_workers, metrics=metrics, tracer=tracer
+        )
+    raise ValueError(
+        f"unknown engine {choice!r}; valid engines: " + ", ".join(ENGINES)
+    )

@@ -11,6 +11,11 @@ Theorem-4 rules (factor gates its updates; an update gates the next
 ancestor's work on the same target column), evaluated lazily. Edge lists are
 never stored, which is the memory/latency trade dynamic runtimes make.
 
+This is a scheduling **model, not a dispatchable engine**: ``run()``
+drains tasks single-threaded to study orderings and counter behaviour.
+Real concurrent execution lives in :mod:`repro.parallel.threads` and
+:mod:`repro.parallel.procengine`.
+
 The executed dependence relation is provably identical to
 :func:`repro.taskgraph.eforest_graph.build_eforest_graph` (a unit test
 asserts edge-set equality), so any interleaving the runtime produces yields

@@ -7,6 +7,13 @@ times, messages materialized lazily per (key) with a transfer delay, and
 per-processor work-conserving dispatch by bottom-level priority. This module
 hosts that core once.
 
+This is **simulation, not execution**: it prices tasks against a
+:class:`~repro.parallel.machine.MachineModel` and never touches a numeric
+value. The engines that really factorize are
+:mod:`repro.parallel.threads` and :mod:`repro.parallel.procengine`; they
+share this module's ``engine.*`` metric names so predictions and real
+runs are directly comparable.
+
 Event-loop invariants (mirrored from ``docs/parallel.md``; the tests in
 ``tests/parallel/test_engine.py`` and ``tests/obs/`` pin them):
 

@@ -17,6 +17,13 @@ the lowest-ranked process with a runnable task executes one), so runs are
 reproducible; the factors are gathered at the end and must equal the
 shared-memory sequential factors — the strongest executable statement of
 the 1-D distributed algorithm this environment allows (no MPI runtime).
+
+This is **execution with distributed semantics but no real concurrency**:
+it exists to validate the ownership/message protocol and pin the event
+simulator's cost model, and it is not dispatchable as an ``engine=``
+choice. Real multi-process execution — actual worker processes, shared
+memory instead of panel-carrying messages — is
+:mod:`repro.parallel.procengine`.
 """
 
 from __future__ import annotations

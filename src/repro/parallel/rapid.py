@@ -6,6 +6,11 @@ The paper schedules its task graph with the RAPID runtime [4]: an
 is the discrete-event simulator itself — it prices every task and commits a
 per-processor execution order — and the resulting :class:`StaticSchedule`
 can be replayed by the thread executor or re-simulated.
+
+This module is a **schedule builder over the simulator** — it computes
+orders, not factors. The fan-both proc engine
+(:mod:`repro.parallel.procengine`) deliberately does *not* replay a
+frozen order: its workers fire tasks the moment counters reach zero.
 """
 
 from __future__ import annotations

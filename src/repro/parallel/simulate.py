@@ -14,6 +14,10 @@ The event mechanics live in :mod:`repro.parallel.engine` (shared with the
 block-column world. The simulator is exact and reproducible: same inputs →
 same makespan, which is what lets the benchmark tables be regenerated
 deterministically.
+
+This is **simulation, not execution** — no numeric value is touched; it
+predicts what the real engines (:mod:`repro.parallel.threads`,
+:mod:`repro.parallel.procengine`) and the message-passing executor do.
 """
 
 from __future__ import annotations

@@ -6,6 +6,12 @@ executor. NumPy kernels release the GIL, so medium/large blocks overlap;
 more importantly this proves that *any* machine-driven interleaving of the
 task graph computes bitwise-consistent factors (the tests compare against
 the sequential order).
+
+This is **execution, not simulation**: real factors come out, and the
+module is dispatchable as the ``threaded`` engine (``engine=`` >
+``$REPRO_ENGINE`` > default; docs/parallel.md). It is also the reference
+oracle for the multi-process engine — :mod:`repro.parallel.procengine`
+must match its factors bitwise while escaping the GIL this pool shares.
 """
 
 from __future__ import annotations

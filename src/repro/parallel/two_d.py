@@ -21,7 +21,8 @@ Scope note: this is a *machine-model* extension used to study scalability
 (the motivation for 2-D is that 1-D column ownership serializes each
 column's updates on one processor); partial-pivoting row exchange is not
 modelled at the block-row level, matching the simulation-only status the
-paper assigns this direction.
+paper assigns this direction. **Simulation, not execution** — the
+dispatchable engines (docs/parallel.md) are all 1-D.
 """
 
 from __future__ import annotations

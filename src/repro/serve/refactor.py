@@ -99,6 +99,9 @@ def refactorize_with_plan(
     *,
     tracer: Optional[Tracer] = None,
     check_pattern: bool = True,
+    engine: Optional[str] = None,
+    n_workers: int = 4,
+    pool=None,
 ) -> NumericFactorization:
     """Numerically factorize ``a`` using ``plan``'s static analysis.
 
@@ -108,7 +111,17 @@ def refactorize_with_plan(
     pivoting still runs: the static structure of ``Ā`` covers every pivot
     choice the S+ discipline can make, so new values never need new
     symbolic work (the paper's Theorem 3 argument).
+
+    ``engine``/``n_workers`` select the numeric executor with the usual
+    precedence (argument > ``$REPRO_ENGINE`` > sequential); the plan
+    already carries the task graph the parallel engines schedule by.
+    ``pool`` optionally shares one
+    :class:`repro.parallel.procengine.ProcPool` across calls — the
+    :class:`~repro.serve.service.SolverService` passes its own so serving
+    threads never each spawn a process pool.
     """
+    from repro.parallel.dispatch import resolve_engine, run_engine
+
     if not a.has_values:
         raise ShapeError("refactorize_with_plan() requires matrix values")
     if check_pattern and not plan.matches(a):
@@ -126,19 +139,27 @@ def refactorize_with_plan(
             equil = equilibrate(a)
             source = equil.apply(a)
         a_work = permute(source, row_perm=plan.row_perm, col_perm=plan.col_perm)
-        engine = LUFactorization(
+        eng = LUFactorization(
             a_work,
             plan.bp,
             metrics=tr.metrics if tr.detail else None,
             layout=plan.layout,
         )
-        engine.factor_sequential()
+        run_engine(
+            eng,
+            plan.graph,
+            resolve_engine(engine),
+            n_workers=n_workers,
+            metrics=tr.metrics if tr.detail else None,
+            tracer=tr,
+            pool=pool,
+        )
         retain = resolve_solve_impl() == "block"
-        result = engine.extract(
+        result = eng.extract(
             retain_blocks=retain,
             solve_schedule=plan.solve_schedule if retain else None,
         )
-        s.set(n_tasks=len(engine.done))
+        s.set(n_tasks=len(eng.done))
     return NumericFactorization(
         plan=plan, a=a, result=result, equil=equil, tracer=tracer
     )

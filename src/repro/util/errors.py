@@ -40,6 +40,12 @@ class AnalysisError(ReproError, ValueError):
     """Static analysis found a race, deadlock, or broken invariant."""
 
 
+class EngineError(ReproError, RuntimeError):
+    """A parallel numeric engine failed to execute (dead worker, closed
+    pool, unusable start method) — as opposed to a numerical failure such
+    as :class:`SingularMatrixError`, which propagates with its own type."""
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the :mod:`repro.serve` subsystem."""
 
