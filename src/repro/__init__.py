@@ -38,6 +38,8 @@ from repro.sparse import (
 from repro.ordering import (
     zero_free_diagonal_permutation,
     minimum_degree_ata,
+    amd_ata,
+    nested_dissection_ata,
     column_etree,
     postorder_forest,
 )
@@ -96,6 +98,15 @@ from repro.serve import (
     refactorize_with_plan,
 )
 
+# Recipe autotuning composes the serving + parallel layers.
+from repro.tune import (
+    OrderingRecipe,
+    RecipeScore,
+    TuneResult,
+    autotune,
+    evaluate_recipe,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -109,6 +120,8 @@ __all__ = [
     "read_rutherford_boeing",
     "zero_free_diagonal_permutation",
     "minimum_degree_ata",
+    "amd_ata",
+    "nested_dissection_ata",
     "column_etree",
     "postorder_forest",
     "static_symbolic_factorization",
@@ -151,5 +164,10 @@ __all__ = [
     "build_plan",
     "fingerprint",
     "refactorize_with_plan",
+    "OrderingRecipe",
+    "RecipeScore",
+    "TuneResult",
+    "autotune",
+    "evaluate_recipe",
     "__version__",
 ]

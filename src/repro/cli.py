@@ -27,12 +27,19 @@ Commands
                optionally writing the ``repro.bench`` artifact
                (``$REPRO_SOLVE`` selects the production implementation
                elsewhere; the bench always runs both).
+``tune``       autotune the ordering recipe for one pattern (grid over
+               ordering × amalgamation tolerance, ranked by the machine-
+               model makespan) and prove the second call is a recipe hit.
+``ordering-bench`` score every fill-reducing ordering (mindeg, amd, rcm,
+               dissect, natural) per matrix: fill, supernodes, FLOPs,
+               predicted T(P), ordering wall time.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional
 
 import numpy as np
 
@@ -59,27 +66,57 @@ def _load_matrix(spec: str, scale: float) -> CSCMatrix:
     return read_matrix_market(spec)
 
 
-def _solver_options(args: argparse.Namespace) -> SolverOptions:
-    return SolverOptions(
+def _solver_options(
+    args: argparse.Namespace, a: Optional[CSCMatrix] = None
+) -> SolverOptions:
+    """Options from the pipeline flags; ``--recipe`` wins over ``--ordering``.
+
+    ``--recipe auto`` tunes on ``a`` (or on ``args.matrix``, loaded here
+    when the caller did not pass the matrix it already has).
+    """
+    opts = SolverOptions(
         ordering=args.ordering,
         postorder=not args.no_postorder,
         amalgamation=not args.no_amalgamation,
         task_graph=args.task_graph,
         equilibrate=getattr(args, "equilibrate", False),
     )
+    spec = getattr(args, "recipe", None)
+    if spec:
+        from repro.tune import OrderingRecipe, autotune
+
+        if spec == "auto":
+            if a is None:
+                a = _load_matrix(args.matrix, args.scale)
+            recipe = autotune(a, base_options=opts).recipe
+            print(f"autotuned recipe: {recipe.spec()}")
+        else:
+            try:
+                recipe = OrderingRecipe.parse(spec)
+            except ValueError as exc:
+                print(f"error: bad --recipe {spec!r}: {exc}", file=sys.stderr)
+                raise SystemExit(2) from exc
+        opts = recipe.apply(opts)
+    return opts
 
 
 def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
+    from repro.numeric.solver import ORDERINGS
+
     p.add_argument("matrix", help="matrix file (.mtx/.rua) or analog name")
     p.add_argument("--scale", type=float, default=0.35, help="analog size factor")
-    p.add_argument(
-        "--ordering", choices=["mindeg", "rcm", "natural"], default="mindeg"
-    )
+    p.add_argument("--ordering", choices=list(ORDERINGS), default="mindeg")
     p.add_argument("--no-postorder", action="store_true")
     p.add_argument("--no-amalgamation", action="store_true")
     p.add_argument("--task-graph", choices=["eforest", "sstar"], default="eforest")
     p.add_argument(
         "--equilibrate", action="store_true", help="row/column max-norm scaling"
+    )
+    p.add_argument(
+        "--recipe",
+        metavar="SPEC",
+        help="ordering recipe ('amd:pad=0.4,max=96', see docs/ordering.md) "
+        "applied over the other flags; 'auto' runs the autotuner first",
     )
 
 
@@ -129,7 +166,7 @@ def _cmd_analyze_verify(args: argparse.Namespace) -> int:
     )
     for nm in names:
         a = _load_matrix(nm, args.scale)
-        report = analyze_matrix(a, _solver_options(args), name=nm)
+        report = analyze_matrix(a, _solver_options(args, a), name=nm)
         combined.subjects.extend(report.subjects)
         print(report.render())
     doc = combined.as_dict()
@@ -456,6 +493,90 @@ def cmd_proc_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.obs.export import bench_document, validate_bench_document, write_json
+    from repro.obs.trace import Tracer
+    from repro.tune.bench import candidate_rows, run_tune, tune_summary_rows
+
+    tracer = Tracer()
+    data = run_tune(
+        args.matrix,
+        scale=0.06 if args.quick else args.scale,
+        n_procs=args.procs,
+        objective=args.objective,
+        quick=args.quick,
+        tracer=tracer,
+    )
+    text = format_table(
+        ["quantity", "value"],
+        tune_summary_rows(data),
+        title=f"tune: {data['matrix']} @ scale {data['scale']}",
+    )
+    text += "\n\n" + format_table(
+        ["recipe", "|Abar|/|A|", "supernodes", "flops", f"T(P={data['n_procs']})"],
+        candidate_rows(data),
+        title="candidates (best first)",
+        floatfmt=".4f",
+    )
+    if args.json:
+        doc = bench_document(
+            "tune",
+            text=text,
+            data=data,
+            meta={"benchmark": "tune", "quick": bool(args.quick)},
+        )
+        errors = validate_bench_document(doc)
+        if errors:  # defensive: bench_document should always emit valid docs
+            for e in errors:
+                print(f"bench schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"tune artifact written to {args.json}")
+    print(text)
+    if not data["second_call"]["recipe_hit"]:
+        print("FAIL: second tune call re-searched (recipe store broken)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_ordering_bench(args: argparse.Namespace) -> int:
+    from repro.obs.export import bench_document, validate_bench_document, write_json
+    from repro.tune.bench import ordering_rows, run_ordering_benchmark
+
+    matrices = (
+        ("sherman3",) if args.quick else tuple(args.matrices.split(","))
+    )
+    data = run_ordering_benchmark(
+        matrices,
+        scale=0.06 if args.quick else args.scale,
+        n_procs=args.procs,
+    )
+    text = format_table(
+        ["matrix", "ordering", "|Abar|/|A|", "supernodes", "flops",
+         f"T(P={data['n_procs']})", "seconds"],
+        ordering_rows(data),
+        title=f"ordering-bench @ scale {data['scale']}",
+        floatfmt=".4f",
+    )
+    if args.json:
+        doc = bench_document(
+            "ordering_bench",
+            text=text,
+            data=data,
+            meta={"benchmark": "ordering-bench", "quick": bool(args.quick)},
+        )
+        errors = validate_bench_document(doc)
+        if errors:  # defensive: bench_document should always emit valid docs
+            for e in errors:
+                print(f"bench schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"ordering-bench artifact written to {args.json}")
+    print(text)
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     a = paper_matrix(args.name, scale=args.scale)
     write_matrix_market(a, args.output)
@@ -610,6 +731,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the repro.bench JSON artifact"
     )
     p.set_defaults(func=cmd_proc_bench)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune the ordering recipe for one pattern (docs/ordering.md)",
+    )
+    p.add_argument("matrix", help="matrix file (.mtx/.rua) or analog name")
+    p.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI-friendly)"
+    )
+    p.add_argument("--scale", type=float, default=0.35, help="analog size factor")
+    p.add_argument(
+        "--procs", type=int, default=8, help="simulated processor count"
+    )
+    p.add_argument(
+        "--objective", choices=["time", "flops", "fill"], default="time",
+        help="ranking objective (default: simulated makespan)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the repro.bench JSON artifact"
+    )
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "ordering-bench",
+        help="score every fill-reducing ordering per matrix (docs/ordering.md)",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI-friendly)"
+    )
+    p.add_argument(
+        "--matrices", default="sherman3,sherman5,lnsp3937",
+        help="comma-separated analog names",
+    )
+    p.add_argument("--scale", type=float, default=0.35, help="analog size factor")
+    p.add_argument(
+        "--procs", type=int, default=8, help="simulated processor count"
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the repro.bench JSON artifact"
+    )
+    p.set_defaults(func=cmd_ordering_bench)
 
     p = sub.add_parser("generate", help="write an analog to a .mtx file")
     p.add_argument("name", choices=sorted(PAPER_MATRICES))

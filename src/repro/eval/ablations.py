@@ -165,7 +165,7 @@ class OrderingPoint:
 
 def ordering_comparison(
     name: str,
-    orderings: tuple[str, ...] = ("mindeg", "rcm", "natural"),
+    orderings: tuple[str, ...] = ("mindeg", "amd", "rcm", "dissect", "natural"),
     config: BenchConfig | None = None,
     machine: MachineModel = ORIGIN2000,
 ) -> list[OrderingPoint]:

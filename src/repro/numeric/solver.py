@@ -31,6 +31,8 @@ from repro.numeric.blockdata import BlockLayout
 from repro.numeric.factor import FactorResult, LUFactorization
 from repro.numeric.solve_dispatch import resolve_impl as resolve_solve_impl
 from repro.obs.trace import Tracer
+from repro.ordering.amd import amd_ata
+from repro.ordering.dissect import nested_dissection_ata
 from repro.ordering.mindeg import minimum_degree_ata
 from repro.ordering.rcm import reverse_cuthill_mckee
 from repro.ordering.transversal import zero_free_diagonal_permutation
@@ -50,6 +52,11 @@ from repro.taskgraph.dag import TaskGraph
 from repro.taskgraph.eforest_graph import build_eforest_graph
 from repro.taskgraph.sstar import build_sstar_graph
 from repro.util.errors import ReproError, ShapeError
+
+#: Fill-reducing orderings the pipeline dispatches on. All operate on the
+#: (row-permuted) pattern and return old-index → elimination-position
+#: permutations applied symmetrically; ``natural`` is the identity.
+ORDERINGS: tuple[str, ...] = ("mindeg", "amd", "rcm", "dissect", "natural")
 
 #: One-shot flag behind the deprecated ``timings`` alias: the warning fires
 #: once per process, not once per access (PR-2 satellite fix).
@@ -77,7 +84,16 @@ class SolverOptions:
     ----------
     ordering:
         Fill-reducing column ordering: ``"mindeg"`` (minimum degree on
-        ``AᵀA``, the paper's choice), ``"rcm"``, or ``"natural"``.
+        ``AᵀA``, the paper's choice), ``"amd"`` (approximate minimum
+        degree, Amestoy-Davis-Duff style), ``"dissect"`` (BFS level-set
+        nested dissection), ``"rcm"``, or ``"natural"``.
+    ordering_params:
+        Extra keyword arguments of the selected ordering, as a sorted
+        tuple of ``(name, value)`` pairs so options stay hashable (e.g.
+        ``(("leaf_size", 96),)`` for ``dissect``). Part of the symbolic
+        cache key: two recipes differing only here produce distinct
+        plans. Use :meth:`repro.tune.OrderingRecipe.apply` to build these
+        from an autotuned recipe.
     postorder:
         Apply the §3 eforest postordering (the paper's contribution; turn
         off to reproduce the "without postordering" rows of Table 3).
@@ -92,6 +108,7 @@ class SolverOptions:
     """
 
     ordering: str = "mindeg"
+    ordering_params: tuple = ()
     postorder: bool = True
     amalgamation: bool = True
     max_padding: float = 0.25
@@ -100,10 +117,30 @@ class SolverOptions:
     equilibrate: bool = False
 
     def __post_init__(self) -> None:
-        if self.ordering not in ("mindeg", "rcm", "natural"):
+        if self.ordering not in ORDERINGS:
             raise ValueError(f"unknown ordering {self.ordering!r}")
         if self.task_graph not in ("eforest", "sstar"):
             raise ValueError(f"unknown task graph {self.task_graph!r}")
+        params = tuple(sorted((str(k), v) for k, v in self.ordering_params))
+        for _, v in params:
+            if not isinstance(v, (bool, int, float, str)):
+                raise ValueError(
+                    f"ordering_params values must be scalars, got {v!r}"
+                )
+        self.ordering_params = params
+
+    def ordering_kwargs(self) -> dict:
+        """The ``ordering_params`` pairs as a keyword dict."""
+        return dict(self.ordering_params)
+
+    def with_recipe(self, recipe) -> "SolverOptions":
+        """Options with ``recipe``'s ordering/amalgamation knobs applied.
+
+        ``recipe`` is a :class:`repro.tune.OrderingRecipe` (duck-typed to
+        keep this module free of a ``repro.tune`` import); every field
+        the recipe does not own is carried over from ``self``.
+        """
+        return recipe.apply(self)
 
     def symbolic_key(self) -> tuple:
         """Hashable tuple of every option the symbolic phase consumes.
@@ -116,12 +153,28 @@ class SolverOptions:
         """
         return (
             self.ordering,
+            self.ordering_params,
             self.postorder,
             self.amalgamation,
             float(self.max_padding),
             int(self.max_supernode),
             self.task_graph,
             self.equilibrate,
+        )
+
+    @classmethod
+    def from_symbolic_key(cls, key: tuple) -> "SolverOptions":
+        """Rebuild options from a :meth:`symbolic_key` tuple (inverse)."""
+        (ordering, params, postorder, amalg, padding, max_sn, graph, equil) = key
+        return cls(
+            ordering=ordering,
+            ordering_params=params,
+            postorder=postorder,
+            amalgamation=amalg,
+            max_padding=padding,
+            max_supernode=max_sn,
+            task_graph=graph,
+            equilibrate=equil,
         )
 
 
@@ -185,6 +238,10 @@ def run_symbolic_pipeline(
     with tr.span("ordering", method=opts.ordering):
         if opts.ordering == "mindeg":
             q = minimum_degree_ata(work)
+        elif opts.ordering == "amd":
+            q = amd_ata(work, **opts.ordering_kwargs())
+        elif opts.ordering == "dissect":
+            q = nested_dissection_ata(work, **opts.ordering_kwargs())
         elif opts.ordering == "rcm":
             q = reverse_cuthill_mckee(work)
         else:

@@ -6,6 +6,13 @@
 * :mod:`repro.ordering.mindeg` — minimum degree on the ``AᵀA`` pattern, the
   fill-reducing ordering the paper uses ("we use the minimum degree
   algorithm on AᵀA").
+* :mod:`repro.ordering.amd` — approximate minimum degree (Amestoy-Davis-
+  Duff) with quotient-graph element absorption, mass elimination, and
+  supervariables; the fast production ordering the autotuner
+  (:mod:`repro.tune`) searches over.
+* :mod:`repro.ordering.dissect` — nested dissection from BFS level-set
+  separators with greedy refinement (the SPRAL order→analyse shape,
+  without METIS).
 * :mod:`repro.ordering.rcm` — reverse Cuthill-McKee, an alternative ordering
   used by the ordering ablation benchmark.
 * :mod:`repro.ordering.etree` — the column elimination tree (etree of
@@ -15,6 +22,8 @@
 
 from repro.ordering.transversal import maximum_transversal, zero_free_diagonal_permutation
 from repro.ordering.mindeg import minimum_degree, minimum_degree_ata
+from repro.ordering.amd import approximate_minimum_degree, amd_ata
+from repro.ordering.dissect import nested_dissection, nested_dissection_ata
 from repro.ordering.rcm import reverse_cuthill_mckee
 from repro.ordering.btf import (
     block_triangular_permutation,
@@ -36,6 +45,10 @@ __all__ = [
     "zero_free_diagonal_permutation",
     "minimum_degree",
     "minimum_degree_ata",
+    "approximate_minimum_degree",
+    "amd_ata",
+    "nested_dissection",
+    "nested_dissection_ata",
     "reverse_cuthill_mckee",
     "block_triangular_permutation",
     "strongly_connected_components",

@@ -1,0 +1,234 @@
+"""Approximate minimum degree (AMD) fill-reducing ordering.
+
+The classical Amestoy-Davis-Duff algorithm on the quotient graph, in the
+style recent parallel work revisits (Chang/Buluç/Demmel, PAPERS.md
+``2504.17097``): eliminated pivots become *elements*, a live variable's
+neighbourhood is its remaining variable adjacency plus the union of its
+elements' vertex lists, and three classical refinements keep the cost far
+below the exact algorithm in :mod:`repro.ordering.mindeg`:
+
+* **approximate external degree** — instead of recomputing ``|Adj(i)|``
+  exactly after every pivot (a set union per neighbour per step), each
+  touched variable gets the Amestoy-Davis-Duff upper bound
+  ``d̄_i = min(n_live, d̄_i + |Lp \\ i|, |A_i \\ Lp| + |Lp \\ i| + Σ_e |L_e \\ Lp|)``
+  where the per-element residuals ``|L_e \\ Lp|`` are shared across all
+  neighbours of the pivot (one pass, not one per variable);
+* **element absorption** — an element whose vertex list is contained in
+  the new pivot element's list carries no extra structure and is deleted;
+  the pivot's own elements are always absorbed (their lists are subsets
+  of ``Lp ∪ {p}`` by construction), and *aggressive* absorption also
+  removes any other element whose residual ``|L_e \\ Lp|`` hits zero;
+* **mass elimination and supervariables** — variables in ``Lp`` whose
+  entire remaining adjacency is the new element are eliminated together
+  with the pivot (they cause no new fill), and variables with identical
+  quotient-graph adjacency are merged into weighted supervariables so
+  one elimination (and one degree update) stands for the whole group.
+
+Tie-breaking is deterministic: among minimum approximate degree the
+lowest-numbered principal variable wins, and supervariable members are
+emitted in ascending original index — same inputs, same permutation,
+which the recipe autotuner (:mod:`repro.tune`) relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.pattern import ata_pattern
+from repro.util.errors import ShapeError
+
+
+def approximate_minimum_degree(
+    sym_pattern: CSCMatrix, *, aggressive: bool = True
+) -> np.ndarray:
+    """Order the vertices of a symmetric pattern by approximate min degree.
+
+    Parameters
+    ----------
+    sym_pattern:
+        Pattern of a structurally symmetric matrix (values, if present,
+        are ignored; the diagonal may or may not be stored).
+    aggressive:
+        Also absorb elements that become subsets of the pivot element
+        even when the pivot was not adjacent to them (AMD's "aggressive
+        absorption"). Slightly better orderings, never worse asymptotics.
+
+    Returns
+    -------
+    perm:
+        Array mapping *old* index to *new* position: vertex ``v`` is
+        eliminated at step ``perm[v]`` (same contract as
+        :func:`repro.ordering.mindeg.minimum_degree`).
+    """
+    if not sym_pattern.is_square:
+        raise ShapeError("approximate minimum degree needs a square pattern")
+    n = sym_pattern.n_cols
+    perm = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return perm
+
+    # Quotient graph over *principal* variables. ``adj[v]`` holds only
+    # variable-variable edges not yet covered by an element; ``elems[v]``
+    # the ids of elements v is adjacent to; ``elem_verts[e]`` the live
+    # principal variables element e covers (None once absorbed).
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for j in range(n):
+        for i in sym_pattern.col_rows(j):
+            i = int(i)
+            if i != j:
+                adj[j].add(i)
+                adj[i].add(j)
+
+    elems: list[set[int]] = [set() for _ in range(n)]
+    elem_verts: list[set[int] | None] = []
+    weight = np.ones(n, dtype=np.int64)  # columns merged into supervariable
+    members: list[list[int]] = [[v] for v in range(n)]
+    alive = np.ones(n, dtype=bool)
+
+    # Lazy-deletion heap of (approx degree, principal variable); an entry
+    # is valid only while its degree matches cur_deg. Ties break toward
+    # the smallest vertex index (tuple comparison), deterministically.
+    cur_deg = np.fromiter(
+        (sum(int(weight[u]) for u in adj[v]) for v in range(n)),
+        dtype=np.int64,
+        count=n,
+    )
+    heap: list[tuple[int, int]] = [(int(cur_deg[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+
+    n_eliminated = 0
+    while n_eliminated < n:
+        while True:
+            deg, p = heapq.heappop(heap)
+            if alive[p] and deg == cur_deg[p]:
+                break
+
+        # ---- pivot neighbourhood Lp (principal variables only) --------
+        lp = set(adj[p])
+        for e in elems[p]:
+            verts = elem_verts[e]
+            if verts is not None:
+                lp |= verts
+        lp.discard(p)
+        lp = {u for u in lp if alive[u]}
+
+        # ---- eliminate the pivot supervariable ------------------------
+        for v in sorted(members[p]):
+            perm[v] = n_eliminated
+            n_eliminated += 1
+        alive[p] = False
+
+        eid = len(elem_verts)
+        elem_verts.append(set(lp))
+        new_elem = elem_verts[eid]
+        # Absorb the pivot's elements: their vertex lists are ⊆ Lp ∪ {p}.
+        for e in elems[p]:
+            elem_verts[e] = None
+        adj[p] = set()
+        elems[p] = set()
+        members[p] = []
+
+        # ---- shared per-element residuals |L_e \ Lp| ------------------
+        # One pass over the neighbours' element lists, pruning absorbed
+        # elements as we go; residuals are weighted column counts.
+        residual: dict[int, int] = {}
+        for i in lp:
+            live_elems = set()
+            for e in elems[i]:
+                verts = elem_verts[e]
+                if verts is None:
+                    continue
+                live_elems.add(e)
+                if e not in residual:
+                    residual[e] = sum(
+                        int(weight[u]) for u in verts if u not in lp and alive[u]
+                    )
+            elems[i] = live_elems
+        if aggressive:
+            for e, r in residual.items():
+                if r == 0 and elem_verts[e] is not None:
+                    # Fully contained in the new element: absorb.
+                    elem_verts[e] = None
+
+        # ---- update neighbours: adjacency, mass elim, degrees ---------
+        lp_weight = sum(int(weight[u]) for u in lp)
+        n_live = int(weight[alive].sum())
+        mass: list[int] = []
+        for i in lp:
+            # Edges inside the element are now covered by it; the edge to
+            # the (dead) pivot goes too.
+            adj[i] -= lp
+            adj[i].discard(p)
+            elems[i] = {e for e in elems[i] if elem_verts[e] is not None}
+            elems[i].add(eid)
+            if not adj[i] and elems[i] == {eid}:
+                # Mass elimination: i's remaining neighbourhood is exactly
+                # Lp \ {i}; eliminating it right after p adds no fill.
+                mass.append(i)
+                continue
+            d_lp = lp_weight - int(weight[i])
+            bound_inc = int(cur_deg[i]) + d_lp
+            bound_ext = (
+                sum(int(weight[u]) for u in adj[i])
+                + d_lp
+                + sum(residual.get(e, 0) for e in elems[i] if e != eid)
+            )
+            d = min(n_live - int(weight[i]), bound_inc, bound_ext)
+            cur_deg[i] = max(d, 0)
+            heapq.heappush(heap, (int(cur_deg[i]), i))
+
+        for i in sorted(mass):
+            for v in sorted(members[i]):
+                perm[v] = n_eliminated
+                n_eliminated += 1
+            alive[i] = False
+            new_elem.discard(i)
+            adj[i] = set()
+            elems[i] = set()
+            members[i] = []
+        if mass:
+            # The element shrank; degrees of the remaining members are
+            # upper bounds still (they only got smaller), which AMD allows.
+            lp -= set(mass)
+
+        # ---- supervariable detection (indistinguishable variables) ----
+        buckets: dict[tuple, int] = {}
+        for i in sorted(lp):
+            if not alive[i]:
+                continue
+            key = (
+                tuple(sorted(adj[i])),
+                tuple(sorted(elems[i])),
+            )
+            rep = buckets.get(key)
+            if rep is None:
+                buckets[key] = i
+                continue
+            # Merge i into the lower-numbered representative.
+            weight[rep] += weight[i]
+            members[rep].extend(members[i])
+            alive[i] = False
+            new_elem.discard(i)
+            for u in adj[i]:
+                adj[u].discard(i)
+            adj[i] = set()
+            elems[i] = set()
+            members[i] = []
+            # rep's approximate degree loses i's weight (i is no longer
+            # an external neighbour — it *is* rep now).
+            cur_deg[rep] = max(int(cur_deg[rep]) - int(weight[i]), 0)
+            heapq.heappush(heap, (int(cur_deg[rep]), rep))
+
+    return perm
+
+
+def amd_ata(a: CSCMatrix, *, aggressive: bool = True) -> np.ndarray:
+    """AMD on the pattern of ``AᵀA`` (drop-in for ``minimum_degree_ata``).
+
+    Returns a permutation usable as both the column and row permutation
+    of ``A`` (applied symmetrically it preserves a zero-free diagonal).
+    """
+    return approximate_minimum_degree(ata_pattern(a), aggressive=aggressive)

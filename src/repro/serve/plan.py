@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.tune
+    from repro.tune.recipe import OrderingRecipe
 
 import numpy as np
 
@@ -51,7 +54,7 @@ def _inverse_perm(perm: np.ndarray) -> np.ndarray:
     return inv
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SymbolicPlan:
     """One pattern's static analysis, frozen for sharing.
 
@@ -59,6 +62,14 @@ class SymbolicPlan:
     phase only ever *reads* the plan (permutations, block pattern, layout)
     and allocates its own value panels. Build via :func:`build_plan` or
     :meth:`SparseLUSolver.plan`.
+
+    Identity (:meth:`identity`, ``__eq__``, ``__hash__``) is
+    (pattern fingerprint, symbolic options) — *not* the fingerprint
+    alone: the same pattern analyzed under two different ordering recipes
+    yields two structurally different plans, and caches must never
+    conflate them. The generated dataclass ``__eq__`` would compare the
+    array fields elementwise (ambiguous truth value), hence ``eq=False``
+    and the explicit definitions.
     """
 
     fingerprint: PatternFingerprint
@@ -75,6 +86,26 @@ class SymbolicPlan:
     #: Inverse of ``row_perm``, so the serving hot path permutes each RHS
     #: with a single gather.
     row_perm_inv: "np.ndarray | None" = None
+    #: The tuned :class:`~repro.tune.OrderingRecipe` this plan was built
+    #: from, when one was supplied (``build_plan(recipe=...)`` or the
+    #: autotuned serving path); ``None`` for plain-options builds. The
+    #: recipe's knobs are *also* folded into ``options`` — this field
+    #: records provenance, ``options`` carries the cache identity.
+    recipe: "OrderingRecipe | None" = None
+
+    # ---- identity -----------------------------------------------------
+    @property
+    def identity(self) -> tuple:
+        """Hashable (fingerprint, symbolic options) cache identity."""
+        return (self.fingerprint.key, self.options.symbolic_key())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolicPlan):
+            return NotImplemented
+        return self.identity == other.identity
+
+    def __hash__(self) -> int:
+        return hash(self.identity)
 
     # ---- convenience views over the artifact bundle -------------------
     @property
@@ -137,7 +168,10 @@ class SymbolicPlan:
 
 
 def _assemble(
-    a: CSCMatrix, options: SolverOptions, art: SymbolicArtifacts
+    a: CSCMatrix,
+    options: SolverOptions,
+    art: SymbolicArtifacts,
+    recipe=None,
 ) -> SymbolicPlan:
     return SymbolicPlan(
         fingerprint=fingerprint(a),
@@ -148,6 +182,7 @@ def _assemble(
         layout=BlockLayout(art.bp),
         solve_schedule=level_schedule(art.bp),
         row_perm_inv=_inverse_perm(art.row_perm),
+        recipe=recipe,
     )
 
 
@@ -155,21 +190,33 @@ def build_plan(
     a: CSCMatrix,
     options: Optional[SolverOptions] = None,
     *,
+    recipe: "OrderingRecipe | None" = None,
     tracer: Optional[Tracer] = None,
 ) -> SymbolicPlan:
     """Run the symbolic pipeline on ``a``'s pattern and freeze the result.
 
-    ``a`` may be pattern-only. When ``tracer`` is given, the symbolic
-    stages record their usual spans (``transversal`` … ``task_graph``)
-    under a ``build_plan`` parent.
+    ``a`` may be pattern-only. When ``recipe`` (a
+    :class:`repro.tune.OrderingRecipe`) is given, its ordering and
+    amalgamation knobs are applied on top of ``options`` and the plan
+    records the recipe as its provenance. When ``tracer`` is given, the
+    symbolic stages record their usual spans (``transversal`` …
+    ``task_graph``) under a ``build_plan`` parent.
     """
     from repro.symbolic.dispatch import resolve_impl
 
     opts = options or SolverOptions()
+    if recipe is not None:
+        opts = recipe.apply(opts)
     tr = tracer if tracer is not None else Tracer(enabled=False)
-    with tr.span("build_plan", n=a.n_cols, nnz=a.nnz, symbolic_impl=resolve_impl()):
+    with tr.span(
+        "build_plan",
+        n=a.n_cols,
+        nnz=a.nnz,
+        symbolic_impl=resolve_impl(),
+        recipe=recipe.spec() if recipe is not None else "",
+    ):
         art = run_symbolic_pipeline(a.pattern_only(), opts, tr)
-    plan = _assemble(a, opts, art)
+    plan = _assemble(a, opts, art, recipe=recipe)
     from repro.analysis.runner import analysis_enabled
 
     if analysis_enabled():  # REPRO_ANALYZE=1 debug hook

@@ -144,6 +144,12 @@ class SolverService:
         time), and :meth:`close` closes the pool.
     engine_workers:
         Threads/processes per factorization for the parallel engines.
+    use_tuned_recipes:
+        When True (default), a plan-cache miss consults the cache's
+        per-fingerprint recipe store (:meth:`tune` fills it) and builds
+        the plan under the tuned recipe instead of the request options'
+        ordering knobs. The solution is identical either way — recipes
+        only change how the factorization is organized.
     """
 
     def __init__(
@@ -159,6 +165,7 @@ class SolverService:
         tracer: Optional[Tracer] = None,
         engine: Optional[str] = None,
         engine_workers: int = 4,
+        use_tuned_recipes: bool = True,
     ) -> None:
         from repro.parallel.dispatch import resolve_engine
 
@@ -179,6 +186,7 @@ class SolverService:
             self._engine_pool = ProcPool(engine_workers)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = cache if cache is not None else PlanCache(metrics=self.metrics)
+        self.use_tuned_recipes = use_tuned_recipes
         self.max_queue = max_queue
         self.max_batch = max_batch
         self.default_deadline_s = default_deadline_s
@@ -334,7 +342,12 @@ class SolverService:
             # Options travel inside the batch key (a hashable tuple), so
             # equal keys really do mean one factorization serves the batch.
             opts = self._options_from_key(head.batch_key)
-            plan = self.cache.get_or_build(head.a, opts, tracer=self.tracer)
+            if self.use_tuned_recipes:
+                plan = self.cache.get_or_build_tuned(
+                    head.a, opts, tracer=self.tracer
+                )
+            else:
+                plan = self.cache.get_or_build(head.a, opts, tracer=self.tracer)
             fac = refactorize_with_plan(
                 plan,
                 head.a,
@@ -370,16 +383,44 @@ class SolverService:
                     req.pending._set_error(err)
 
     def _options_from_key(self, batch_key: tuple) -> SolverOptions:
-        (ordering, postorder, amalg, padding, max_sn, graph, equil) = batch_key[1]
-        return SolverOptions(
-            ordering=ordering,
-            postorder=postorder,
-            amalgamation=amalg,
-            max_padding=padding,
-            max_supernode=max_sn,
-            task_graph=graph,
-            equilibrate=equil,
+        return SolverOptions.from_symbolic_key(batch_key[1])
+
+    def tune(
+        self,
+        a: CSCMatrix,
+        *,
+        n_procs: int = 8,
+        objective: str = "time",
+        quick: bool = False,
+        candidates=None,
+        build: bool = True,
+    ):
+        """Autotune the ordering recipe for ``a``'s pattern.
+
+        Runs :func:`repro.tune.autotune` against this service's shared
+        plan cache — the winning recipe is stored per fingerprint, so
+        subsequent calls (and, with ``use_tuned_recipes``, cold plan
+        builds for this pattern) reuse it without re-searching. With
+        ``build`` (the default) the tuned plan is also built and
+        inserted, pre-warming the pattern for the request path. Returns
+        the :class:`repro.tune.TuneResult`.
+        """
+        from repro.tune.autotune import autotune
+
+        result = autotune(
+            a,
+            candidates=candidates,
+            objective=objective,
+            n_procs=n_procs,
+            base_options=self.options,
+            cache=self.cache,
+            quick=quick,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
+        if build:
+            self.cache.get_or_build_tuned(a, self.options, tracer=self.tracer)
+        return result
 
     def process_once(self) -> int:
         """Dequeue and process one batch synchronously (no worker needed).

@@ -1,0 +1,32 @@
+"""Per-pattern ordering autotuning (the ROADMAP's "real subsystem").
+
+The ordering ablation shows no single fill-reducing ordering wins: the
+ordering, the supernode amalgamation tolerance, and the parallel mapping
+interact, and the right joint setting depends on the sparsity pattern.
+This package closes the loop:
+
+* :class:`OrderingRecipe` — one joint (ordering + params + amalgamation)
+  setting, hashable and serializable;
+* :func:`evaluate_recipe` — symbolic-only scoring: fill, the Luce/Ng
+  FLOPs objective, and the α-β machine-model makespan at P processors;
+* :func:`autotune` — deterministic grid search returning the best recipe
+  under the chosen objective, with per-fingerprint recipe reuse through
+  :class:`repro.serve.PlanCache` so the search cost amortizes across the
+  serving workload.
+
+CLI: ``repro tune`` and ``repro ordering-bench``. Guide: docs/ordering.md.
+"""
+
+from repro.tune.recipe import OrderingRecipe
+from repro.tune.cost import OBJECTIVES, RecipeScore, evaluate_recipe
+from repro.tune.autotune import TuneResult, autotune, default_candidates
+
+__all__ = [
+    "OrderingRecipe",
+    "RecipeScore",
+    "OBJECTIVES",
+    "evaluate_recipe",
+    "TuneResult",
+    "autotune",
+    "default_candidates",
+]

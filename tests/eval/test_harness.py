@@ -81,7 +81,9 @@ class TestAblations:
 
     def test_ordering_comparison_runs(self):
         pts = ordering_comparison("orsreg1", config=TINY)
-        assert {p.ordering for p in pts} == {"mindeg", "rcm", "natural"}
+        assert {p.ordering for p in pts} == {
+            "mindeg", "amd", "rcm", "dissect", "natural",
+        }
         by = {p.ordering: p for p in pts}
         # Minimum degree should never lose to the natural order on fill.
         assert by["mindeg"].fill_ratio <= by["natural"].fill_ratio * 1.1

@@ -19,7 +19,7 @@ class TestOptions:
 
     def test_invalid_ordering(self):
         with pytest.raises(ValueError):
-            SolverOptions(ordering="amd")
+            SolverOptions(ordering="metis")
 
     def test_invalid_task_graph(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,97 @@
+"""Approximate minimum degree (AMD) ordering tests."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.amd import amd_ata, approximate_minimum_degree
+from repro.ordering.mindeg import minimum_degree_ata
+from repro.sparse.convert import csc_from_dense
+from repro.sparse.generators import paper_matrix, random_sparse, reservoir_matrix
+from repro.sparse.ops import permute
+from repro.sparse.pattern import ata_pattern
+from repro.symbolic.static_fill import static_symbolic_factorization
+
+
+def is_permutation(p, n):
+    return sorted(np.asarray(p).tolist()) == list(range(n))
+
+
+def fill_under(a, q) -> int:
+    return static_symbolic_factorization(permute(a, row_perm=q, col_perm=q)).nnz
+
+
+class TestApproximateMinimumDegree:
+    def test_returns_permutation(self):
+        a = random_sparse(30, density=0.15, seed=0)
+        p = approximate_minimum_degree(ata_pattern(a))
+        assert is_permutation(p, 30)
+
+    def test_path_graph_order(self):
+        # Degrees are exact on a path; an endpoint must go first.
+        n = 7
+        dense = np.eye(n)
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = 1.0
+        p = approximate_minimum_degree(csc_from_dense(dense))
+        assert is_permutation(p, n)
+        first = int(np.argsort(p)[0])
+        assert first in (0, n - 1)
+
+    def test_star_graph_center_near_last(self):
+        n = 8
+        dense = np.eye(n)
+        dense[0, 1:] = dense[1:, 0] = 1.0
+        p = approximate_minimum_degree(csc_from_dense(dense))
+        assert p[0] >= n - 2
+
+    def test_reduces_fill_on_grid(self):
+        a = reservoir_matrix(5, 5, 3, seed=1)
+        natural = static_symbolic_factorization(a).nnz
+        q = amd_ata(a)
+        assert fill_under(a, q) < natural
+
+    def test_deterministic(self):
+        a = random_sparse(25, density=0.2, seed=2)
+        assert np.array_equal(amd_ata(a), amd_ata(a))
+
+    def test_aggressive_flag_still_valid(self):
+        a = random_sparse(40, density=0.1, seed=3)
+        for aggressive in (True, False):
+            p = amd_ata(a, aggressive=aggressive)
+            assert is_permutation(p, 40)
+
+    def test_dense_matrix(self):
+        p = approximate_minimum_degree(csc_from_dense(np.ones((5, 5))))
+        assert is_permutation(p, 5)
+
+    def test_diagonal_matrix_any_order(self):
+        p = approximate_minimum_degree(csc_from_dense(np.eye(6)))
+        assert is_permutation(p, 6)
+
+    def test_empty_pattern(self):
+        p = approximate_minimum_degree(csc_from_dense(np.zeros((0, 0))))
+        assert p.size == 0
+
+    def test_rejects_rectangular(self):
+        from repro.util.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            approximate_minimum_degree(csc_from_dense(np.ones((2, 3))))
+
+
+class TestAMDVersusExact:
+    """AMD's whole point: exact-mindeg fill quality at lower cost."""
+
+    @pytest.mark.parametrize("name", ["sherman3", "sherman5"])
+    def test_fill_within_15_percent_of_exact(self, name):
+        a = paper_matrix(name, scale=0.35)
+        exact = fill_under(a, minimum_degree_ata(a))
+        approx = fill_under(a, amd_ata(a))
+        assert approx <= exact * 1.15, (name, approx, exact)
+
+    def test_fill_close_on_random(self):
+        a = random_sparse(120, density=0.05, seed=7)
+        exact = fill_under(a, minimum_degree_ata(a))
+        approx = fill_under(a, amd_ata(a))
+        # Random patterns are harder; allow a looser band but stay sane.
+        assert approx <= exact * 1.35

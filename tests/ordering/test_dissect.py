@@ -1,0 +1,134 @@
+"""Nested-dissection ordering tests."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.dissect import nested_dissection, nested_dissection_ata
+from repro.sparse.convert import csc_from_dense
+from repro.sparse.generators import random_sparse, reservoir_matrix
+from repro.sparse.ops import permute
+from repro.symbolic.static_fill import static_symbolic_factorization
+
+
+def is_permutation(p, n):
+    return sorted(np.asarray(p).tolist()) == list(range(n))
+
+
+def grid_laplacian(rows: int, cols: int):
+    n = rows * cols
+    dense = np.eye(n)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                dense[v, v + 1] = dense[v + 1, v] = 1.0
+            if r + 1 < rows:
+                dense[v, v + cols] = dense[v + cols, v] = 1.0
+    return csc_from_dense(dense)
+
+
+class TestNestedDissection:
+    def test_returns_permutation(self):
+        a = grid_laplacian(9, 9)
+        p = nested_dissection(a, leaf_size=8)
+        assert is_permutation(p, 81)
+
+    def test_separator_eliminated_last(self):
+        # The vertices eliminated last must form a *small* vertex
+        # separator: removing a short suffix of the elimination order
+        # disconnects the grid. (Under the natural order no small suffix
+        # does — the remainder is always a connected sub-grid.)
+        rows = cols = 9
+        a = grid_laplacian(rows, cols)
+        p = nested_dissection(a, leaf_size=8)
+        order = np.argsort(p)
+
+        def n_components(removed: set) -> int:
+            left = [v for v in range(rows * cols) if v not in removed]
+            seen: set[int] = set()
+            comps = 0
+            for s in left:
+                if s in seen:
+                    continue
+                comps += 1
+                stack = [s]
+                seen.add(s)
+                while stack:
+                    v = stack.pop()
+                    r, c = divmod(v, cols)
+                    for u in (v - 1, v + 1, v - cols, v + cols):
+                        ur, uc = divmod(u, cols)
+                        if (
+                            0 <= u < rows * cols
+                            and abs(ur - r) + abs(uc - c) == 1
+                            and u not in removed
+                            and u not in seen
+                        ):
+                            seen.add(u)
+                            stack.append(u)
+            return comps
+
+        smallest = next(
+            (
+                k
+                for k in range(1, rows * cols)
+                if n_components(set(int(v) for v in order[-k:])) >= 2
+            ),
+            rows * cols,
+        )
+        # A 9x9 grid has a 9-vertex line separator; allow a little slack
+        # for a crooked refined cut, but nothing like the natural order.
+        assert smallest <= 13, smallest
+
+    def test_deterministic(self):
+        a = random_sparse(60, density=0.08, seed=4)
+        assert np.array_equal(
+            nested_dissection_ata(a, leaf_size=16),
+            nested_dissection_ata(a, leaf_size=16),
+        )
+
+    def test_leaf_size_one_still_valid(self):
+        a = grid_laplacian(5, 5)
+        p = nested_dissection(a, leaf_size=1)
+        assert is_permutation(p, 25)
+
+    def test_refine_flag(self):
+        a = grid_laplacian(8, 8)
+        refined = nested_dissection(a, leaf_size=8, refine=True)
+        raw = nested_dissection(a, leaf_size=8, refine=False)
+        assert is_permutation(refined, 64) and is_permutation(raw, 64)
+
+    def test_disconnected_graph(self):
+        dense = np.eye(10)
+        dense[0, 1] = dense[1, 0] = 1.0  # two tiny components + isolated
+        dense[5, 6] = dense[6, 5] = 1.0
+        p = nested_dissection(csc_from_dense(dense), leaf_size=2)
+        assert is_permutation(p, 10)
+
+    def test_dense_matrix_falls_back(self):
+        # A clique has no level structure; the mindeg fallback handles it.
+        p = nested_dissection(csc_from_dense(np.ones((12, 12))), leaf_size=4)
+        assert is_permutation(p, 12)
+
+    def test_empty_pattern(self):
+        p = nested_dissection(csc_from_dense(np.zeros((0, 0))))
+        assert p.size == 0
+
+    def test_reduces_fill_on_grid(self):
+        a = reservoir_matrix(6, 6, 3, seed=1)
+        natural = static_symbolic_factorization(a).nnz
+        q = nested_dissection_ata(a, leaf_size=16)
+        ordered = static_symbolic_factorization(
+            permute(a, row_perm=q, col_perm=q)
+        ).nnz
+        assert ordered < natural
+
+    def test_rejects_rectangular(self):
+        from repro.util.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            nested_dissection(csc_from_dense(np.ones((2, 3))))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            nested_dissection(csc_from_dense(np.eye(4)), leaf_size=0)

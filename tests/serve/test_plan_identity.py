@@ -1,0 +1,84 @@
+"""Plan identity: one pattern under two recipes is two distinct plans.
+
+Regression for the recipe subsystem: before ordering recipes, plan
+identity was effectively the pattern fingerprint; now the cache must key
+on (fingerprint, symbolic options) or a tuned plan would shadow an
+untuned one for the same matrix.
+"""
+
+import numpy as np
+
+from repro.numeric.solver import SolverOptions
+from repro.serve.cache import PlanCache
+from repro.serve.plan import build_plan
+from repro.sparse.generators import paper_matrix
+from repro.tune import OrderingRecipe
+
+
+def sherman():
+    return paper_matrix("sherman3", scale=0.08)
+
+
+class TestPlanIdentity:
+    def test_same_pattern_same_options_equal(self):
+        a = sherman()
+        p1 = build_plan(a)
+        p2 = build_plan(a)
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1.identity == p2.identity
+
+    def test_same_pattern_different_recipes_unequal(self):
+        a = sherman()
+        plain = build_plan(a)
+        tuned = build_plan(a, recipe=OrderingRecipe(ordering="rcm"))
+        assert plain != tuned
+        assert plain.identity != tuned.identity
+        assert plain.fingerprint.key == tuned.fingerprint.key
+
+    def test_recipe_changes_symbolic_key(self):
+        base = SolverOptions()
+        tuned = OrderingRecipe(ordering="amd", max_padding=0.4).apply(base)
+        assert base.symbolic_key() != tuned.symbolic_key()
+        # Ordering params participate too (same ordering, different knob).
+        a = OrderingRecipe(ordering="dissect").apply(base)
+        b = OrderingRecipe(
+            ordering="dissect", params=(("leaf_size", 128),)
+        ).apply(base)
+        assert a.symbolic_key() != b.symbolic_key()
+
+    def test_recipe_provenance_recorded(self):
+        a = sherman()
+        r = OrderingRecipe(ordering="amd")
+        plan = build_plan(a, recipe=r)
+        assert plan.recipe == r
+        assert plan.options.ordering == "amd"
+
+    def test_not_equal_to_other_types(self):
+        plan = build_plan(sherman())
+        assert plan != "plan"
+        assert plan is not None
+
+
+class TestCacheKeying:
+    def test_two_recipes_cached_without_collision(self):
+        a = sherman()
+        cache = PlanCache()
+        plain = cache.get_or_build(a)
+        tuned = cache.get_or_build(
+            a, OrderingRecipe(ordering="rcm").apply(SolverOptions())
+        )
+        assert len(cache) == 2
+        assert plain != tuned
+
+        # Each lookup returns the right plan for its options.
+        assert cache.get(a) is plain
+        rcm_opts = OrderingRecipe(ordering="rcm").apply(SolverOptions())
+        assert cache.get(a, rcm_opts) is tuned
+        assert cache.stats()["collisions"] == 0
+
+    def test_plans_structurally_differ(self):
+        a = sherman()
+        plain = build_plan(a)
+        tuned = build_plan(a, recipe=OrderingRecipe(ordering="rcm"))
+        assert not np.array_equal(plain.col_perm, tuned.col_perm)

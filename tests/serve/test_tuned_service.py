@@ -1,0 +1,109 @@
+"""Tuned-recipe serving path: cache recipe store + SolverService.tune."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.solver import SolverOptions
+from repro.serve import PlanCache, SolverService
+from repro.serve.fingerprint import fingerprint
+from repro.sparse.generators import paper_matrix
+from repro.sparse.ops import matvec
+from repro.tune import OrderingRecipe
+
+
+@pytest.fixture
+def sherman():
+    return paper_matrix("sherman3", scale=0.08)
+
+
+def residual(a, x, b):
+    return float(np.max(np.abs(matvec(a, x) - b))) / float(np.max(np.abs(b)))
+
+
+class TestRecipeStore:
+    def test_put_get_roundtrip(self, sherman):
+        cache = PlanCache()
+        r = OrderingRecipe(ordering="amd")
+        cache.put_recipe(sherman, r)
+        entry = cache.get_recipe(sherman)
+        assert entry is not None and entry[0] == r
+
+    def test_fingerprint_key_accepted(self, sherman):
+        cache = PlanCache()
+        cache.put_recipe(fingerprint(sherman), OrderingRecipe(ordering="rcm"))
+        entry = cache.get_recipe(sherman)
+        assert entry is not None and entry[0].ordering == "rcm"
+
+    def test_miss_counted(self, sherman):
+        cache = PlanCache()
+        assert cache.get_recipe(sherman) is None
+        assert cache.stats()["recipe_misses"] == 1
+
+    def test_lru_bound(self, sherman):
+        cache = PlanCache(max_entries=1, max_recipes=1)
+        other = paper_matrix("sherman5", scale=0.08)
+        cache.put_recipe(sherman, OrderingRecipe())
+        cache.put_recipe(other, OrderingRecipe(ordering="rcm"))
+        assert cache.stats()["recipes"] == 1
+        assert cache.get_recipe(sherman) is None
+
+    def test_clear_drops_recipes(self, sherman):
+        cache = PlanCache()
+        cache.put_recipe(sherman, OrderingRecipe())
+        cache.clear()
+        assert cache.stats()["recipes"] == 0
+
+    def test_get_or_build_tuned_applies_recipe(self, sherman):
+        cache = PlanCache()
+        cache.put_recipe(sherman, OrderingRecipe(ordering="rcm"))
+        plan = cache.get_or_build_tuned(sherman)
+        assert plan.options.ordering == "rcm"
+        # The tuned plan is cached under the tuned options: a second call
+        # is a plan hit, and a plain get_or_build still builds mindeg.
+        assert cache.get_or_build_tuned(sherman) is plan
+        plain = cache.get_or_build(sherman)
+        assert plain.options.ordering == SolverOptions().ordering
+        assert plain != plan
+
+    def test_get_or_build_tuned_without_recipe_is_plain(self, sherman):
+        cache = PlanCache()
+        plan = cache.get_or_build_tuned(sherman)
+        assert plan.options.ordering == SolverOptions().ordering
+
+
+class TestServiceTune:
+    def test_tune_stores_recipe_and_prebuilds(self, sherman):
+        svc = SolverService(n_workers=0)
+        result = svc.tune(sherman, quick=True)
+        assert result.searched is True
+        assert svc.cache.stats()["recipes"] == 1
+        assert len(svc.cache) == 1  # plan pre-built under the recipe
+
+        again = svc.tune(sherman, quick=True)
+        assert again.searched is False
+        assert again.recipe == result.recipe
+        svc.close()
+
+    def test_requests_use_tuned_recipe(self, sherman):
+        svc = SolverService(n_workers=0)
+        result = svc.tune(sherman, quick=True)
+        b = np.ones(sherman.n_rows)
+        p = svc.submit(sherman, b)
+        svc.process_once()
+        assert residual(sherman, p.result(timeout=5), b) < 1e-8
+        # The request was served off the tuned plan, not a plain rebuild.
+        tuned_opts = result.recipe.apply(svc.options)
+        assert svc.cache.get(sherman, tuned_opts) is not None
+        assert len(svc.cache) == 1
+        svc.close()
+
+    def test_opt_out_keeps_plain_options(self, sherman):
+        svc = SolverService(n_workers=0, use_tuned_recipes=False)
+        svc.tune(sherman, quick=True, build=False)
+        b = np.ones(sherman.n_rows)
+        p = svc.submit(sherman, b)
+        svc.process_once()
+        assert residual(sherman, p.result(timeout=5), b) < 1e-8
+        # Plain path: the plan is keyed by the service's own options.
+        assert svc.cache.get(sherman, svc.options) is not None
+        svc.close()

@@ -38,7 +38,7 @@ class TestConvenienceAPI:
         with pytest.raises(TypeError):
             lu(a, nonsense=True)
         with pytest.raises(ValueError):
-            lu(a, ordering="amd")
+            lu(a, ordering="metis")
 
     def test_stats_and_condest(self):
         a = random_pivot_matrix(20, 4)

@@ -191,3 +191,79 @@ class TestServeBench:
         assert doc["meta"]["warm_over_cold_throughput"] > 0
         names = {s["name"] for s in doc["spans"]}
         assert "serve_bench" in names
+
+
+class TestTune:
+    def test_quick_smoke(self, capsys):
+        assert main(["tune", "sherman3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "winning recipe" in out
+        assert "second call recipe hit" in out
+        assert "candidates (best first)" in out
+
+    def test_writes_valid_bench_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_bench_document
+
+        path = tmp_path / "tune.json"
+        assert main(["tune", "sherman3", "--quick", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert validate_bench_document(doc) == []
+        assert doc["name"] == "tune"
+        assert doc["data"]["second_call"]["recipe_hit"] is True
+        assert doc["data"]["recipe"]
+        assert len(doc["data"]["candidates"]) >= 5
+
+
+class TestOrderingBench:
+    def test_quick_smoke(self, capsys):
+        assert main(["ordering-bench", "--quick"]) == 0
+        out = capsys.readouterr().out
+        for ordering in ("mindeg", "amd", "rcm", "dissect", "natural"):
+            assert ordering in out
+
+    def test_writes_valid_bench_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_bench_document
+
+        path = tmp_path / "ob.json"
+        assert main(["ordering-bench", "--quick", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert validate_bench_document(doc) == []
+        assert doc["name"] == "ordering_bench"
+        assert doc["data"]["amd_over_mindeg_fill"]
+
+
+class TestRecipeFlag:
+    def test_analyze_with_recipe(self, capsys):
+        assert (
+            main(
+                ["analyze", "sherman3", "--scale", "0.1",
+                 "--recipe", "amd:pad=0.4"]
+            )
+            == 0
+        )
+        assert "supernodes" in capsys.readouterr().out
+
+    def test_solve_with_recipe(self, capsys):
+        assert (
+            main(["solve", "orsreg1", "--scale", "0.1", "--recipe", "rcm"]) == 0
+        )
+        out = capsys.readouterr().out
+        residual = float(out.split("residual=")[1].split()[0])
+        assert residual < 1e-8
+
+    def test_recipe_auto(self, capsys):
+        assert (
+            main(
+                ["analyze", "sherman3", "--scale", "0.08", "--recipe", "auto"]
+            )
+            == 0
+        )
+        assert "autotuned recipe:" in capsys.readouterr().out
+
+    def test_bad_recipe_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "sherman3", "--recipe", "metis"])

@@ -1,0 +1,138 @@
+"""Autotuner search, acceptance bar, and per-pattern recipe amortization."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.serve.cache import PlanCache
+from repro.sparse.generators import paper_matrix
+from repro.tune import (
+    OrderingRecipe,
+    autotune,
+    default_candidates,
+    evaluate_recipe,
+)
+
+
+@pytest.fixture(scope="module")
+def sherman3():
+    return paper_matrix("sherman3", scale=0.08)
+
+
+class TestDefaultCandidates:
+    def test_quick_is_one_padding_per_ordering(self):
+        quick = default_candidates(quick=True)
+        assert len(quick) == 5
+        assert {r.ordering for r in quick} == {
+            "mindeg", "amd", "rcm", "dissect", "natural",
+        }
+
+    def test_full_contains_fixed_ablation_rows(self):
+        # The acceptance bar: the grid always includes the plain fixed
+        # orderings, so the winner can never lose to them.
+        full = default_candidates()
+        for ordering in ("mindeg", "rcm", "natural"):
+            assert OrderingRecipe(ordering=ordering) in full
+        assert len(full) > len(default_candidates(quick=True))
+
+
+class TestSearch:
+    def test_winner_beats_fixed_orderings(self, sherman3):
+        """ISSUE acceptance: tuned T(P=8) <= best fixed-ordering row."""
+        result = autotune(sherman3, quick=True)
+        fixed_best = min(
+            evaluate_recipe(
+                sherman3, OrderingRecipe(ordering=o)
+            ).predicted_time
+            for o in ("mindeg", "rcm", "natural")
+        )
+        assert result.score.predicted_time <= fixed_best + 1e-12
+
+    def test_candidates_sorted_best_first(self, sherman3):
+        result = autotune(sherman3, quick=True)
+        times = [s.predicted_time for s in result.scores]
+        assert times == sorted(times)
+        assert result.recipe == result.scores[0].recipe
+
+    def test_deterministic(self, sherman3):
+        a = autotune(sherman3, quick=True)
+        b = autotune(sherman3, quick=True)
+        assert a.recipe == b.recipe
+        assert [s.recipe for s in a.scores] == [s.recipe for s in b.scores]
+
+    def test_objective_fill_picks_min_fill(self, sherman3):
+        result = autotune(sherman3, quick=True, objective="fill")
+        assert result.score.fill_ratio == min(
+            s.fill_ratio for s in result.scores
+        )
+
+    def test_rejects_unknown_objective(self, sherman3):
+        with pytest.raises(ValueError):
+            autotune(sherman3, objective="beauty")
+
+    def test_rejects_empty_grid(self, sherman3):
+        with pytest.raises(ValueError):
+            autotune(sherman3, candidates=())
+
+    def test_explicit_candidates(self, sherman3):
+        only = (OrderingRecipe(ordering="rcm"),)
+        result = autotune(sherman3, candidates=only)
+        assert result.recipe == only[0]
+        assert len(result.scores) == 1
+
+
+class TestRecipeAmortization:
+    """Second tune call for a known pattern must skip the search."""
+
+    def test_second_call_is_recipe_hit(self, sherman3):
+        reg = MetricsRegistry()
+        tr = Tracer()
+        cache = PlanCache(metrics=reg)
+        first = autotune(
+            sherman3, quick=True, cache=cache, tracer=tr, metrics=reg
+        )
+        second = autotune(
+            sherman3, quick=True, cache=cache, tracer=tr, metrics=reg
+        )
+        assert first.searched is True
+        assert second.searched is False
+        assert second.recipe == first.recipe
+        assert second.score == first.score
+
+        # Metrics: one search, one recipe hit on each ledger.
+        assert reg.get("tune.searches").value == 1
+        assert reg.get("tune.recipe_hits").value == 1
+        assert reg.get("plan_cache.recipe_hits").value == 1
+        assert reg.get("tune.candidates").value == len(first.scores)
+
+        # Spans: the second tune.search is marked cached and evaluated
+        # no candidates (no tune.candidate children).
+        searches = [s for s in tr.walk() if s.name == "tune.search"]
+        assert len(searches) == 2
+        assert searches[0].attrs["cached"] is False
+        assert searches[1].attrs["cached"] is True
+        assert searches[1].attrs["n_candidates"] == 0
+        assert not [
+            c for c in searches[1].walk() if c.name == "tune.candidate"
+        ]
+
+    def test_no_cache_always_searches(self, sherman3):
+        a = autotune(sherman3, quick=True)
+        b = autotune(sherman3, quick=True)
+        assert a.searched and b.searched
+
+    def test_distinct_patterns_distinct_entries(self, sherman3):
+        cache = PlanCache()
+        other = paper_matrix("sherman5", scale=0.08)
+        r3 = autotune(sherman3, quick=True, cache=cache)
+        r5 = autotune(other, quick=True, cache=cache)
+        assert r3.searched and r5.searched
+        assert cache.stats()["recipes"] == 2
+
+    def test_as_dict_shape(self, sherman3):
+        d = autotune(sherman3, quick=True).as_dict()
+        assert set(d) == {
+            "recipe", "objective", "searched", "search_seconds",
+            "winner", "candidates",
+        }
+        assert d["winner"]["recipe"] == d["recipe"]

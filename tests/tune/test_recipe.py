@@ -1,0 +1,114 @@
+"""OrderingRecipe construction, spec round-trips, and options wiring."""
+
+import pytest
+
+from repro.numeric.solver import ORDERINGS, SolverOptions
+from repro.tune import OrderingRecipe
+
+
+class TestConstruction:
+    def test_defaults_match_solver_defaults(self):
+        r = OrderingRecipe()
+        opts = SolverOptions()
+        assert r.ordering == opts.ordering
+        assert r.amalgamation == opts.amalgamation
+        assert r.max_padding == opts.max_padding
+        assert r.max_supernode == opts.max_supernode
+
+    def test_params_normalized_sorted(self):
+        r = OrderingRecipe(ordering="dissect", params=(("b", 2), ("a", 1)))
+        assert r.params == (("a", 1), ("b", 2))
+
+    def test_every_known_ordering_accepted(self):
+        for ordering in ORDERINGS:
+            assert OrderingRecipe(ordering=ordering).ordering == ordering
+
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            OrderingRecipe(ordering="metis")
+
+    def test_rejects_bad_padding(self):
+        with pytest.raises(ValueError):
+            OrderingRecipe(max_padding=1.0)
+        with pytest.raises(ValueError):
+            OrderingRecipe(max_padding=-0.1)
+
+    def test_rejects_bad_supernode(self):
+        with pytest.raises(ValueError):
+            OrderingRecipe(max_supernode=0)
+
+    def test_hashable_key(self):
+        a = OrderingRecipe(ordering="amd", max_padding=0.4)
+        b = OrderingRecipe(ordering="amd", max_padding=0.4)
+        assert a == b and a.key == b.key and hash(a) == hash(b)
+        assert a.key != OrderingRecipe(ordering="amd").key
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "mindeg",
+            "amd",
+            "amd:pad=0.4",
+            "rcm:amalg=false",
+            "dissect:leaf_size=96,pad=0.4,max=96",
+            "natural:pad=0.1",
+        ],
+    )
+    def test_roundtrip(self, spec):
+        r = OrderingRecipe.parse(spec)
+        assert OrderingRecipe.parse(r.spec()) == r
+
+    def test_parse_aliases(self):
+        r = OrderingRecipe.parse("amd:pad=0.4,max=96,amalg=off")
+        assert r.max_padding == 0.4
+        assert r.max_supernode == 96
+        assert r.amalgamation is False
+
+    def test_parse_ordering_params(self):
+        r = OrderingRecipe.parse("dissect:leaf_size=128,refine=false")
+        assert dict(r.params) == {"leaf_size": 128, "refine": False}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            OrderingRecipe.parse(":pad=0.4")
+        with pytest.raises(ValueError):
+            OrderingRecipe.parse("amd:pad")
+        with pytest.raises(ValueError):
+            OrderingRecipe.parse("metis")
+
+    def test_str_is_spec(self):
+        r = OrderingRecipe(ordering="amd", max_padding=0.4)
+        assert str(r) == r.spec() == "amd:pad=0.4"
+
+
+class TestOptionsWiring:
+    def test_apply_sets_ordering_knobs(self):
+        r = OrderingRecipe(
+            ordering="dissect",
+            params=(("leaf_size", 96),),
+            max_padding=0.4,
+            max_supernode=96,
+        )
+        opts = r.apply()
+        assert opts.ordering == "dissect"
+        assert opts.ordering_params == (("leaf_size", 96),)
+        assert opts.max_padding == 0.4
+        assert opts.max_supernode == 96
+        assert opts.ordering_kwargs() == {"leaf_size": 96}
+
+    def test_apply_preserves_unowned_knobs(self):
+        base = SolverOptions(postorder=False, equilibrate=True)
+        opts = OrderingRecipe(ordering="amd").apply(base)
+        assert opts.postorder is False
+        assert opts.equilibrate is True
+        assert opts.ordering == "amd"
+
+    def test_from_options_inverse_of_apply(self):
+        r = OrderingRecipe(ordering="rcm", amalgamation=False)
+        assert OrderingRecipe.from_options(r.apply()) == r
+
+    def test_dict_roundtrip(self):
+        r = OrderingRecipe(ordering="dissect", params=(("leaf_size", 128),))
+        assert OrderingRecipe.from_dict(r.as_dict()) == r
