@@ -20,12 +20,14 @@ The subsystem has four layers:
 from repro.analysis.footprints import (
     ORIG_AT_REGION,
     TaskFootprint,
+    expected_2d_tasks,
     expected_factor_tasks,
     expected_solve_tasks,
     factor_footprints,
     region_label,
     solve_footprints,
     solve_region_label,
+    two_d_footprints,
 )
 from repro.analysis.races import (
     Reachability,
@@ -84,6 +86,7 @@ __all__ = [
     "check_postorder",
     "check_races",
     "check_schedule",
+    "expected_2d_tasks",
     "expected_factor_tasks",
     "expected_solve_tasks",
     "factor_footprints",
@@ -91,6 +94,7 @@ __all__ = [
     "region_label",
     "solve_footprints",
     "solve_region_label",
+    "two_d_footprints",
     "suppress_hooks",
     "validate_analysis_document",
     "verify_plan",

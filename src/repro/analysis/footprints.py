@@ -199,6 +199,88 @@ def factor_footprints(
     return out
 
 
+def two_d_footprints(bp: BlockPattern, fill: StaticFill) -> dict:
+    """Footprints of every 2-D ``F``/``SL``/``SU``/``UP`` task of ``bp``.
+
+    The 2-D refinement (:func:`repro.parallel.two_d.build_2d_graph`) splits
+    each 1-D update ``U(k, j)`` into ``SU(k, j)`` (renames + TRSM) plus one
+    ``UP(k, i, j)`` GEMM per stored lower block row, and adds the read-only
+    ``SL(k, i)`` mask tasks. Region ids are unchanged (block-column panels
+    plus :data:`ORIG_AT_REGION`); the per-block sets refine the 1-D ones:
+
+    ``F(k)``
+        Identical to the 1-D footprint — the panel pivot is not split.
+    ``SL(k, i)``
+        Reads block ``i``'s rows of panel ``k`` (the multiplier block whose
+        active-row mask it publishes). No shared writes: the memoized mask
+        is engine-private and recomputed locally by remote ranks.
+    ``SU(k, j)``
+        Reads panel ``k``'s diagonal block (the TRSM triangle); reads and
+        writes the same fill-supported rows of panel ``j`` as the 1-D
+        ``U(k, j)`` — the rename scatter may move any value-nonzero row of
+        the column, which is why the 2-D graph serializes a column's steps
+        through its ``SU`` tasks.
+    ``UP(k, i, j)``
+        Reads block ``i``'s rows of panel ``k`` (multipliers) and block
+        ``k``'s rows of panel ``j`` (the ``U`` block the TRSM produced);
+        writes the fill-supported rows of block ``i`` in panel ``j``.
+        Write sets of one step's UPs land in distinct block rows — the
+        disjointness the 2-D mapping exploits.
+    """
+    from repro.parallel.two_d import Task2D  # lazy: parallel imports analysis
+
+    if fill.n != bp.partition.n:
+        raise ValueError(
+            f"fill covers {fill.n} columns, partition covers {bp.partition.n}"
+        )
+    n = bp.n_blocks
+    starts = bp.partition.starts
+    support = supported_rows(bp, fill)
+    stored = [stored_rows(bp, j) for j in range(n)]
+    stored_sets = [set(int(b) for b in bp.col_blocks(j)) for j in range(n)]
+    upper = _upper_blocks_by_source(bp)
+
+    def block_range(i: int) -> IntArray:
+        return np.arange(starts[i], starts[i + 1], dtype=np.int64)
+
+    out: dict = {}
+    for k in range(n):
+        sub = _frozen(stored[k][stored[k] >= starts[k]])
+        out[Task2D("F", k, k, k)] = TaskFootprint(
+            reads={k: sub, ORIG_AT_REGION: support[k]},
+            writes={k: sub, ORIG_AT_REGION: support[k]},
+        )
+        col = bp.col_blocks(k)
+        lower_blocks = [int(i) for i in col[col > k]]
+        diag = _frozen(block_range(k))
+        for i in lower_blocks:
+            out[Task2D("SL", k, i, k)] = TaskFootprint(
+                reads={k: _frozen(block_range(i))}
+            )
+        for j in upper[k]:
+            j = int(j)
+            touched = _frozen(
+                np.intersect1d(support[k], stored[j], assume_unique=True)
+            )
+            out[Task2D("SU", k, k, j)] = TaskFootprint(
+                reads={k: diag, j: touched},
+                writes={j: touched},
+            )
+            for i in lower_blocks:
+                if i not in stored_sets[j]:
+                    continue
+                bi = block_range(i)
+                out[Task2D("UP", k, i, j)] = TaskFootprint(
+                    reads={k: _frozen(bi), j: diag},
+                    writes={
+                        j: _frozen(
+                            np.intersect1d(support[k], bi, assume_unique=True)
+                        )
+                    },
+                )
+    return out
+
+
 def solve_footprints(bp: BlockPattern) -> dict[Task, TaskFootprint]:
     """Footprints of every ``FS``/``BS`` task over RHS block-row regions.
 
@@ -245,6 +327,14 @@ def footprint_stats(footprints: dict[Task, TaskFootprint]) -> dict[str, int]:
 def expected_factor_tasks(bp: BlockPattern) -> set[Task]:
     """The complete task set of one factorization of ``bp``."""
     return set(enumerate_tasks(bp))
+
+
+def expected_2d_tasks(bp: BlockPattern) -> set:
+    """The complete 2-D task set of one factorization of ``bp`` (what the
+    liveness gates compare a 2-D graph against)."""
+    from repro.parallel.two_d import build_2d_graph  # lazy: import cycle
+
+    return set(build_2d_graph(bp).tasks())
 
 
 def expected_solve_tasks(n_blocks: int) -> set[Task]:

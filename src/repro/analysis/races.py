@@ -267,8 +267,29 @@ def check_message_protocol(
     engine therefore runs this check *unconditionally* before starting
     any worker process (the threaded executor only gates under
     ``REPRO_ANALYZE=1``, because a thread pool fails fast and cheap).
+
+    ``owner`` is either a 1-D owner-per-column array or an object with an
+    ``owner_of(task)`` method (the 2-D :class:`repro.parallel.mapping.GridMapping`),
+    mirroring :func:`repro.parallel.mapping.task_owner`.
     """
     findings = check_liveness(graph, expected)
+    if owner is not None and hasattr(owner, "owner_of"):
+        ranks = int(n_ranks) if n_ranks is not None else int(owner.n_procs)
+        for t in sorted(graph.tasks()):
+            rank = int(owner.owner_of(t))
+            if rank < 0 or rank >= ranks:
+                findings.append(
+                    Finding(
+                        check="protocol.bad_rank",
+                        message=(
+                            f"{t} is owned by rank {rank}, outside the "
+                            f"{ranks}-rank pool"
+                        ),
+                        tasks=(str(t),),
+                        detail={"rank": rank, "n_ranks": ranks},
+                    )
+                )
+        return findings
     if owner is not None:
         owner = np.asarray(owner, dtype=np.int64)
         ranks = int(n_ranks) if n_ranks is not None else int(owner.max()) + 1

@@ -26,12 +26,14 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.analysis.footprints import (
+    expected_2d_tasks,
     expected_factor_tasks,
     expected_solve_tasks,
     factor_footprints,
     footprint_stats,
     solve_footprints,
     solve_region_label,
+    two_d_footprints,
     TaskFootprint,
     _frozen,
 )
@@ -85,6 +87,9 @@ def analyze_plan(plan: "SymbolicPlan", *, name: str = "plan") -> AnalysisReport:
       eforest/postorder/BTF lints recomputed from the plan's fill.
     * ``factor-graph`` — liveness and footprint races of the plan's task
       graph against the enumerated F/U task set.
+    * ``factor-graph-2d`` — the same liveness/race verification of the
+      executable 2-D refinement (F/SL/SU/UP over per-block footprints),
+      so every schedule a 2-D mapping can produce is covered.
     * ``solve-graph`` — liveness and races of the solve schedule's graph
       over RHS block rows.
     * ``minimality`` — the Theorem-4 report comparing a freshly built S*
@@ -142,6 +147,17 @@ def analyze_plan(plan: "SymbolicPlan", *, name: str = "plan") -> AnalysisReport:
     factor.stats.update(footprint_stats(fps))
     factor.stats["n_tasks"] = plan.graph.n_tasks
     factor.stats["n_edges"] = plan.graph.n_edges
+
+    factor2d = report.subject(f"{name}/factor-graph-2d")
+    graph_2d = plan.graph_2d
+    fps2d = two_d_footprints(plan.bp, plan.fill)
+    factor2d.extend(check_liveness(graph_2d, expected_2d_tasks(plan.bp)))
+    races, stats = check_races(graph_2d, fps2d)
+    factor2d.extend(races)
+    factor2d.stats.update(stats)
+    factor2d.stats.update(footprint_stats(fps2d))
+    factor2d.stats["n_tasks"] = graph_2d.n_tasks
+    factor2d.stats["n_edges"] = graph_2d.n_edges
 
     solve = report.subject(f"{name}/solve-graph")
     schedule = plan.solve_schedule or level_schedule(plan.bp)

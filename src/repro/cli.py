@@ -493,6 +493,53 @@ def cmd_proc_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_twod_bench(args: argparse.Namespace) -> int:
+    from repro.obs.export import bench_document, validate_bench_document, write_json
+    from repro.obs.trace import Tracer
+    from repro.parallel.bench import run_two_d_benchmark, two_d_summary_rows
+
+    if args.quick:
+        matrices, scale, repeats = ("sherman3",), 0.1, 1
+    else:
+        matrices = tuple(m.strip() for m in args.matrices.split(","))
+        scale, repeats = args.scale, args.repeats
+    engines = ("threaded", "proc") if args.engine == "both" else (args.engine,)
+    tracer = Tracer()
+    data = run_two_d_benchmark(
+        matrices=matrices,
+        scale=scale,
+        repeats=repeats,
+        n_workers=args.workers,
+        engines=engines,
+        quick_select=args.quick,
+        tracer=tracer,
+    )
+    text = format_table(
+        ["quantity", "value"],
+        two_d_summary_rows(data),
+        title=(
+            f"twod-bench: measured 1-D vs 2-D @ scale {scale:g}, "
+            f"{args.workers} workers ({'+'.join(engines)})"
+        ),
+    )
+    if args.json:
+        doc = bench_document(
+            "bench_twod",
+            text=text,
+            data=data,
+            meta={"benchmark": "twod-bench", "quick": bool(args.quick)},
+        )
+        errors = validate_bench_document(doc)
+        if errors:  # defensive: bench_document should always emit valid docs
+            for e in errors:
+                print(f"bench schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"benchmark artifact written to {args.json}")
+    print(text)
+    return 0
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
     from repro.obs.export import bench_document, validate_bench_document, write_json
     from repro.obs.trace import Tracer
@@ -731,6 +778,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the repro.bench JSON artifact"
     )
     p.set_defaults(func=cmd_proc_bench)
+
+    p = sub.add_parser(
+        "twod-bench",
+        help="measured 1-D vs 2-D block-mapped factorization (docs/parallel.md)",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI-friendly)"
+    )
+    p.add_argument(
+        "--matrices", default="sherman3,goodwin",
+        help="comma-separated generator analogs",
+    )
+    p.add_argument("--scale", type=float, default=0.2, help="analog size factor")
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per (matrix, graph shape, engine); median kept",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count (threads / processes; also sets the 2-D grid)",
+    )
+    p.add_argument(
+        "--engine", choices=["threaded", "proc", "both"], default="threaded",
+        help="real engine(s) to time both graph shapes on",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the repro.bench JSON artifact"
+    )
+    p.set_defaults(func=cmd_twod_bench)
 
     p = sub.add_parser(
         "tune",

@@ -11,6 +11,15 @@ ids. ``Update(k, j)`` *applies* that renaming to column ``j`` before its
 TRSM/GEMM — the deferred-pivot discipline of S+ that makes the 1-D
 distributed factorization possible, and the very reason Theorem 4's
 ancestor-ordering of updates is required.
+
+The engine also executes the refined 2-D task kinds of
+:mod:`repro.parallel.two_d` (``SL``/``SU``/``UP``), which split
+``Update(k, j)``'s body per block row: ``SU(k, j)`` applies the renames
+and the TRSM for column ``j`` (the rename scatter crosses block rows, so
+it belongs to the per-column task), and each ``UP(k, i, j)`` pushes the
+GEMM into block row ``i`` only. ``F(k)`` is *unchanged* — it still pivots
+over the whole candidate panel — so 1-D and 2-D runs share one pivot
+sequence and agree to rounding.
 """
 
 from __future__ import annotations
@@ -215,6 +224,10 @@ class LUFactorization:
         self.done: set[Task] = set()
         self.check_dependencies = check_dependencies
         self.lazy_stats = LazyStats()
+        # SL(k, i) results: active-row masks of lower blocks, keyed (k, i).
+        # Purely derived from the factored (immutable) panel k, so a rank
+        # that never ran SL(k, i) recomputes the identical mask locally.
+        self._lower_active: dict[tuple[int, int], np.ndarray] = {}
         # Panel kernel: ``(panel, width) -> local pivot order``; the blocked
         # getrf variant (lu_panel_blocked) pays off on wide amalgamated
         # supernodes.
@@ -236,7 +249,13 @@ class LUFactorization:
             self._factor(task.k)
         elif task.kind == "U":
             self._update(task.k, task.j)
-        else:  # pragma: no cover - Task constructor prevents this
+        elif task.kind == "SL":
+            self._scale_lower(task.k, task.i)
+        elif task.kind == "SU":
+            self._scale_upper(task.k, task.j)
+        elif task.kind == "UP":
+            self._block_update(task.k, task.i, task.j)
+        else:  # pragma: no cover - task constructors prevent this
             raise SchedulingError(f"unknown task kind {task.kind!r}")
         self.done.add(task)
 
@@ -385,11 +404,172 @@ class LUFactorization:
                         w_j
                     )
 
+    # ------------------------------------------------------------------
+    # 2-D per-block task bodies (repro.parallel.two_d)
+    # ------------------------------------------------------------------
+    def _block_slice(self, k: int, i: int) -> tuple[int, int]:
+        """Rows of block ``i`` inside panel ``k``'s candidate sub-panel."""
+        subs = self.data.sub_rows(k)
+        starts = self.data.starts
+        lo = int(np.searchsorted(subs, starts[i]))
+        hi = int(np.searchsorted(subs, starts[i + 1]))
+        return lo, hi
+
+    def _scale_lower(self, k: int, i: int) -> None:
+        """``SL(k, i)``: publish the active-row mask of lower block (i, k).
+
+        The panel kernel already scaled the whole candidate panel inside
+        ``F(k)``, so the remaining per-block work is the LazyS+
+        bookkeeping: which rows of block ``i`` carry nonzero multipliers.
+        Every ``UP(k, i, ·)`` reuses the mask instead of rescanning.
+        """
+        if self.check_dependencies and ("F", k, k, k) not in self.done:
+            raise SchedulingError(f"SL({k},{i}) ran before F({k})")
+        lo, hi = self._block_slice(k, i)
+        block = self.data.sub_panel(k)[lo:hi, :]
+        self._lower_active[(k, i)] = np.any(block != 0.0, axis=1)
+
+    def _scale_upper(
+        self,
+        k: int,
+        j: int,
+        subs: "np.ndarray | None" = None,
+        pivoted: "np.ndarray | None" = None,
+        m: "np.ndarray | None" = None,
+    ) -> None:
+        """``SU(k, j)``: renames + TRSM of block (k, j) — phases 1-2 of
+        :meth:`_apply_update`, leaving the per-block GEMMs to ``UP``.
+
+        The rename scatter may touch *any* supported row of column ``j``
+        (pivot swaps cross block rows), which is why the 2-D graph
+        serializes a column's steps on its ``SU`` tasks. ``subs``/
+        ``pivoted``/``m`` override the local bookkeeping when ``F(k)`` ran
+        on another process (proc engine: pivots come from the shared
+        arena).
+        """
+        if self.check_dependencies and ("F", k, k, k) not in self.done:
+            raise SchedulingError(f"SU({k},{j}) ran before F({k})")
+        if subs is None:
+            subs = self.sub_rows[k]
+        if pivoted is None:
+            pivoted = self.pivoted_rows[k]
+        if m is None:
+            m = self.data.sub_panel(k)
+        w = self.data.width(k)
+        panel_j = self.data.panels[j]
+        if panel_j is None:
+            raise SchedulingError(
+                f"SU({k},{j}) ran on a process that does not own column {j}"
+            )
+        changed = pivoted != subs
+        if np.any(changed):
+            old_ids = pivoted[changed]
+            new_ids = subs[changed]
+            old_pos, old_present = self.data.positions(j, old_ids)
+            new_pos, new_present = self.data.positions(j, new_ids)
+            vals = np.zeros((old_ids.size, panel_j.shape[1]), dtype=np.float64)
+            if np.any(old_present):
+                vals[old_present] = panel_j[old_pos[old_present]]
+            if np.any(new_present):
+                panel_j[new_pos[new_present]] = vals[new_present]
+            if self.metrics is not None:
+                self.metrics.counter("pivot.renames_applied", unit="rows").inc(
+                    int(old_ids.size)
+                )
+        off = self._upper_block_offset(k, j, panel_j)
+        w_j = panel_j.shape[1]
+        if not panel_j[off : off + w, :].any():
+            # LazyS+: the whole update (k → j) is structurally dead; the
+            # UP(k, ·, j) tasks see the still-zero U block and return, so
+            # one skip here accounts for the full 1-D-equivalent update.
+            self.lazy_stats.skip_update(w, int(subs.size) - w, w_j)
+            if self.metrics is not None:
+                self.metrics.counter("update.skipped_zero_block", unit="updates").inc()
+            return
+        u_kj = solve_unit_lower(m[:w, :w], panel_j[off : off + w, :])
+        panel_j[off : off + w, :] = u_kj
+        self.lazy_stats.n_updates_run += 1
+        self.lazy_stats.flops_spent += trsm_flops(w, w_j)
+        if self.metrics is not None:
+            self.metrics.counter("kernel.trsm.calls", unit="calls").inc()
+            self.metrics.counter("kernel.trsm.flops", unit="flops").inc(
+                trsm_flops(w, w_j)
+            )
+            self.metrics.histogram("kernel.trsm.width", unit="cols").observe(w_j)
+
+    def _block_update(self, k: int, i: int, j: int) -> None:
+        """``UP(k, i, j)``: GEMM of block row ``i`` into column ``j``.
+
+        Reads the finished ``U`` block (k, j) straight from column ``j``'s
+        panel (``SU(k, j)`` wrote it; the step chain orders the read) and
+        the immutable multipliers of block (i, k) from panel ``k``. Updates
+        of one step into different block rows write disjoint rows — the
+        concurrency the 2-D mapping exists to exploit.
+        """
+        if self.check_dependencies and ("SU", k, k, j) not in self.done:
+            raise SchedulingError(f"UP({k},{i},{j}) ran before SU({k},{j})")
+        m = self.data.sub_panel(k)
+        w = self.data.width(k)
+        panel_j = self.data.panels[j]
+        if panel_j is None:
+            raise SchedulingError(
+                f"UP({k},{i},{j}) ran on a process that does not own column {j}"
+            )
+        off = self._upper_block_offset(k, j, panel_j)
+        u_kj = panel_j[off : off + w, :]
+        if not u_kj.any():
+            return  # SU(k, j) took the LazyS+ skip; nothing to push.
+        lo, hi = self._block_slice(k, i)
+        active = self._lower_active.get((k, i))
+        if active is None:
+            active = np.any(m[lo:hi, :] != 0.0, axis=1)
+        n_active = int(active.sum())
+        w_j = panel_j.shape[1]
+        self.lazy_stats.flops_saved += 2 * (int(active.size) - n_active) * w * w_j
+        self.lazy_stats.flops_spent += 2 * n_active * w * w_j
+        if not n_active:
+            return
+        block_ids = self.data.sub_rows(k)[lo:hi]
+        bpos, bpresent = self.data.positions(j, block_ids[active])
+        if np.any(bpresent):
+            panel_j[bpos[bpresent], :] -= m[lo:hi][active][bpresent] @ u_kj
+        if self.metrics is not None:
+            self.metrics.counter("kernel.gemm.calls", unit="calls").inc()
+            self.metrics.counter("kernel.gemm.flops", unit="flops").inc(
+                gemm_flops(n_active, w, w_j)
+            )
+            self.metrics.histogram("kernel.gemm.rows", unit="rows").observe(n_active)
+            self.metrics.histogram("kernel.gemm.width", unit="cols").observe(w_j)
+
+    def _upper_block_offset(self, k: int, j: int, panel_j: np.ndarray) -> int:
+        """Panel offset of stored block (k, j); raises when absent."""
+        diag_start = self.data.starts[k]
+        pos, present = self.data.positions(j, np.array([diag_start]))
+        if not present[0]:
+            raise SchedulingError(
+                f"update ({k}->{j}) scheduled but block ({k},{j}) is not stored"
+            )
+        return int(pos[0])
+
     def _require_column_updates_done(self, k: int) -> None:
+        stored = None
         for i in self.bp.col_blocks(k):
             i = int(i)
-            if i < k and Task("U", i, k) not in self.done:
-                raise SchedulingError(f"F({k}) ran before U({i},{k})")
+            if i >= k or Task("U", i, k) in self.done:
+                continue
+            if ("SU", i, i, k) in self.done:
+                # 2-D refinement of update (i -> k): the SU plus one UP
+                # per stored lower block row must all have committed.
+                if stored is None:
+                    stored = set(int(b) for b in self.bp.col_blocks(k))
+                for b in self.bp.col_blocks(i):
+                    b = int(b)
+                    if b > i and b in stored and ("UP", i, b, k) not in self.done:
+                        raise SchedulingError(
+                            f"F({k}) ran before UP({i},{b},{k})"
+                        )
+                continue
+            raise SchedulingError(f"F({k}) ran before U({i},{k})")
 
     # ------------------------------------------------------------------
     # Extraction

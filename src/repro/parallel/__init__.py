@@ -17,10 +17,13 @@ reproduce the *behaviour* with three interchangeable executors:
 
 from repro.parallel.machine import MachineModel, ORIGIN2000
 from repro.parallel.mapping import (
+    GridMapping,
     cyclic_mapping,
     blocked_mapping,
     greedy_mapping,
     make_mapping,
+    mapping_key,
+    task_owner,
 )
 from repro.parallel.engine import EngineResult, run_event_simulation
 from repro.parallel.simulate import (
@@ -52,19 +55,25 @@ from repro.parallel.threads import threaded_factorize
 from repro.parallel.two_d import (
     Task2D,
     TwoDModel,
+    build_2d_graph,
     build_2d_model,
+    canonical_2d_order,
     compare_1d_2d,
     grid_shape,
+    is_2d_graph,
     simulate_2d,
 )
 
 __all__ = [
     "MachineModel",
     "ORIGIN2000",
+    "GridMapping",
     "cyclic_mapping",
     "blocked_mapping",
     "greedy_mapping",
     "make_mapping",
+    "mapping_key",
+    "task_owner",
     "EngineResult",
     "run_event_simulation",
     "SimulationResult",
@@ -88,8 +97,11 @@ __all__ = [
     "threaded_factorize",
     "Task2D",
     "TwoDModel",
+    "build_2d_graph",
     "build_2d_model",
+    "canonical_2d_order",
     "compare_1d_2d",
     "grid_shape",
+    "is_2d_graph",
     "simulate_2d",
 ]

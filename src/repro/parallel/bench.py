@@ -22,6 +22,14 @@ and the CPU count are always recorded in the artifact either way
 (``ratio_enforced`` says which regime the run was in).
 
 Used by ``repro proc-bench`` and ``benchmarks/bench_proc.py``.
+
+:func:`run_two_d_benchmark` is the measured counterpart for the 1-D vs
+2-D mapping choice: it times real factorizations of the same analyzed
+matrix under the 1-D column graph and the 2-D block graph on the same
+engine(s), checks the 2-D factors against the sequential reference, and
+records the simulator's predicted crossover plus the recipe the
+autotuner actually selects. Used by ``repro twod-bench`` and
+``benchmarks/bench_ablation_2d.py``.
 """
 
 from __future__ import annotations
@@ -172,6 +180,202 @@ def run_proc_benchmark(
         "ratio_enforced": cpus >= MULTICORE_MIN_CPUS,
         "bitwise": all(r["bitwise"] for r in rows),
     }
+
+
+def run_two_d_benchmark(
+    *,
+    matrices: Sequence[str] = ("sherman3", "goodwin"),
+    scale: float = 0.2,
+    repeats: int = 3,
+    n_workers: int = DEFAULT_WORKERS,
+    engines: Sequence[str] = ("threaded",),
+    sim_procs: Sequence[int] = (4, 8, 16),
+    select_procs: int = 16,
+    quick_select: bool = False,
+    tracer: Optional[Tracer] = None,
+) -> dict:
+    """Measured 1-D vs 2-D factorization times; returns the artifact ``data``.
+
+    Per matrix: analyze once, compute the sequential (1-D) reference
+    factors and the canonical 2-D replay, verify the 2-D factors agree
+    with the reference to 1e-12 (relative to the largest factor entry —
+    the two modes sum block updates through differently-shaped GEMM
+    calls, so bitwise identity only holds *within* a mode), then run
+    ``repeats`` interleaved timed factorizations of each graph shape on
+    each requested engine, asserting every engine run is bitwise equal
+    to its mode's reference. Alongside the measured times the row
+    records the α-β simulator's 1-D/2-D prediction at ``sim_procs`` and
+    the recipe the autotuner selects at ``select_procs`` — the
+    selection rationale the artifact exists to document.
+    """
+    from repro.parallel.machine import MachineModel
+    from repro.parallel.mapping import GridMapping
+    from repro.parallel.two_d import (
+        build_2d_graph,
+        canonical_2d_order,
+        compare_1d_2d,
+    )
+    from repro.tune.autotune import autotune
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    bad = [e for e in engines if e not in ("threaded", "proc")]
+    if bad:
+        raise ValueError(f"unknown engine(s) {bad}; want threaded/proc")
+    tr = tracer if tracer is not None else Tracer(enabled=False)
+    rows = []
+    with tr.span(
+        "twod_bench", scale=scale, repeats=repeats, n_workers=n_workers
+    ):
+        for name in matrices:
+            with tr.span("twod_bench.matrix", matrix=name):
+                solver = _analyzed(name, scale)
+                g1 = solver.graph
+                g2 = build_2d_graph(solver.bp)
+                ref = LUFactorization(solver.a_work, solver.bp)
+                ref.factor_sequential()
+                ref_res = ref.extract()
+                eng2 = LUFactorization(solver.a_work, solver.bp)
+                for task in canonical_2d_order(g2):
+                    eng2.run_task(task)
+                ref2_res = eng2.extract()
+                l1 = ref_res.l_factor.to_dense()
+                u1 = ref_res.u_factor.to_dense()
+                denom = max(
+                    1.0, float(np.max(np.abs(l1))), float(np.max(np.abs(u1)))
+                )
+                rel_diff = max(
+                    float(np.max(np.abs(ref2_res.l_factor.to_dense() - l1))),
+                    float(np.max(np.abs(ref2_res.u_factor.to_dense() - u1))),
+                ) / denom
+                if rel_diff > 1e-12:
+                    raise AssertionError(
+                        f"2-D factors diverged from sequential reference on "
+                        f"{name}: rel diff {rel_diff:.3e}"
+                    )
+                measured: dict = {}
+                for engine in engines:
+                    pool = ProcPool(n_workers) if engine == "proc" else None
+                    try:
+                        t1d: list[float] = []
+                        t2d: list[float] = []
+                        for graph, ref_for, times in (
+                            (g1, ref_res, t1d),
+                            (g2, ref2_res, t2d),
+                        ):
+                            # Untimed warm-up (thread spawn / proc bind).
+                            e = LUFactorization(solver.a_work, solver.bp)
+                            _run(e, graph, engine, n_workers, pool)
+                            for _ in range(repeats):
+                                e = LUFactorization(solver.a_work, solver.bp)
+                                t0 = time.perf_counter()
+                                _run(e, graph, engine, n_workers, pool)
+                                times.append(time.perf_counter() - t0)
+                                if not _bitwise_equal(e.extract(), ref_for):
+                                    raise AssertionError(
+                                        f"{engine} factors diverged from the "
+                                        f"mode reference on {name}"
+                                    )
+                    finally:
+                        if pool is not None:
+                            pool.close()
+                    m1, m2 = _median(t1d), _median(t2d)
+                    measured[engine] = {
+                        "t_1d_s": m1,
+                        "t_2d_s": m2,
+                        "ratio_1d_over_2d": m1 / m2 if m2 > 0 else 0.0,
+                    }
+                simulated = []
+                for p in sim_procs:
+                    cmp = compare_1d_2d(solver.bp, g1, MachineModel(n_procs=p))
+                    simulated.append(
+                        {
+                            "p": int(p),
+                            "t_1d": float(cmp["makespan_1d"]),
+                            "t_2d": float(cmp["makespan_2d"]),
+                            "gain_2d": float(cmp["gain_2d"]),
+                        }
+                    )
+                tuned = autotune(
+                    solver.a, n_procs=select_procs, quick=quick_select,
+                    tracer=tr,
+                )
+                g = GridMapping.for_workers(n_workers)
+                pr, pc = g.pr, g.pc
+                rows.append(
+                    {
+                        "matrix": name,
+                        "scale": scale,
+                        "n": solver.a.n_cols,
+                        "n_tasks_1d": g1.n_tasks,
+                        "n_tasks_2d": g2.n_tasks,
+                        "grid": [int(pr), int(pc)],
+                        "rel_diff_vs_1d": rel_diff,
+                        "measured": measured,
+                        "simulated": simulated,
+                        "selection": {
+                            "n_procs": int(select_procs),
+                            "recipe": tuned.recipe.spec(),
+                            "mapping": tuned.recipe.mapping,
+                            "predicted_time": float(tuned.score.predicted_time),
+                        },
+                    }
+                )
+    return {
+        "scale": scale,
+        "repeats": repeats,
+        "n_workers": n_workers,
+        "cpu_count": available_cpus(),
+        "engines": list(engines),
+        "matrices": rows,
+    }
+
+
+def _run(engine, graph, choice, n_workers, pool) -> None:
+    """One factorization of ``graph`` on the named engine (helper)."""
+    if choice == "proc":
+        pool.factorize(engine, graph)
+    else:
+        threaded_factorize(engine, graph, n_threads=n_workers)
+
+
+def two_d_summary_rows(data: dict) -> list:
+    """``(quantity, value)`` rows for the ``twod-bench`` terminal table."""
+    out = []
+    for row in data["matrices"]:
+        for engine, m in row["measured"].items():
+            out.append(
+                (
+                    f"{row['matrix']} ({engine}, n={row['n']})",
+                    f"1-D {m['t_1d_s'] * 1e3:.1f} ms / "
+                    f"2-D {m['t_2d_s'] * 1e3:.1f} ms = "
+                    f"{m['ratio_1d_over_2d']:.2f}x",
+                )
+            )
+        sim16 = next(
+            (s for s in row["simulated"] if s["p"] == 16), row["simulated"][-1]
+        )
+        out.append(
+            (
+                f"{row['matrix']} simulated P={sim16['p']}",
+                f"1-D {sim16['t_1d']:.4f} s / 2-D {sim16['t_2d']:.4f} s "
+                f"({100 * sim16['gain_2d']:+.1f}% gain)",
+            )
+        )
+        sel = row["selection"]
+        out.append(
+            (
+                f"{row['matrix']} tuner pick (P={sel['n_procs']})",
+                f"{sel['recipe']} (mapping={sel['mapping']})",
+            )
+        )
+        out.append(
+            (
+                f"{row['matrix']} 2-D vs sequential",
+                f"rel diff {row['rel_diff_vs_1d']:.2e} (<= 1e-12)",
+            )
+        )
+    return out
 
 
 def summary_rows(data: dict) -> list:

@@ -19,7 +19,10 @@ dispatchable here):
 
 All three produce bitwise-identical factors (the race-free task graph
 makes every admissible schedule equivalent), so the choice is purely a
-performance/deployment decision — see docs/parallel.md.
+performance/deployment decision — see docs/parallel.md. Every engine
+runs both graph shapes: the paper's 1-D column graph and the §6 2-D
+block graph (:func:`repro.parallel.two_d.build_2d_graph`); within one
+shape, factors are bitwise-identical across engines and schedules.
 """
 
 from __future__ import annotations
@@ -63,6 +66,7 @@ def run_engine(
     choice: str,
     *,
     n_workers: int = 4,
+    mapping=None,
     metrics=None,
     tracer=None,
     pool=None,
@@ -70,13 +74,24 @@ def run_engine(
     """Drive one factorization on the already-resolved engine ``choice``.
 
     ``graph`` may be ``None`` only for ``"sequential"`` (the parallel
-    engines schedule by the dependence graph). ``pool`` optionally supplies
-    a shared :class:`repro.parallel.procengine.ProcPool` for the ``proc``
-    engine — the serving layer passes one so concurrent serving threads
-    share a single process pool. Returns the proc engine's
+    engines schedule by the dependence graph); a 2-D graph replays in the
+    canonical right-looking order instead of ``factor_sequential``.
+    ``mapping`` optionally pins the proc engine's task placement — a 1-D
+    owner array or a :class:`repro.parallel.mapping.GridMapping` (the
+    threaded pool is work-stealing and ignores it). ``pool`` optionally
+    supplies a shared :class:`repro.parallel.procengine.ProcPool` for the
+    ``proc`` engine — the serving layer passes one so concurrent serving
+    threads share a single process pool. Returns the proc engine's
     :class:`~repro.parallel.procengine.ProcStats` or ``None``.
     """
     if choice == "sequential":
+        if graph is not None:
+            from repro.parallel.two_d import canonical_2d_order, is_2d_graph
+
+            if is_2d_graph(graph):
+                for task in canonical_2d_order(graph):
+                    engine.run_task(task)
+                return None
         engine.factor_sequential()
         return None
     if graph is None:
@@ -88,11 +103,14 @@ def run_engine(
         return None
     if choice == "proc":
         if pool is not None:
-            return pool.factorize(engine, graph, metrics=metrics, tracer=tracer)
+            return pool.factorize(
+                engine, graph, mapping=mapping, metrics=metrics, tracer=tracer
+            )
         from repro.parallel.procengine import proc_factorize
 
         return proc_factorize(
-            engine, graph, n_workers, metrics=metrics, tracer=tracer
+            engine, graph, n_workers, mapping=mapping, metrics=metrics,
+            tracer=tracer,
         )
     raise ValueError(
         f"unknown engine {choice!r}; valid engines: " + ", ".join(ENGINES)

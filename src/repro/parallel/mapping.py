@@ -1,8 +1,12 @@
-"""1-D block-column mappings: which processor owns which block column.
+"""Task-to-processor mappings: 1-D block-column maps and the 2-D grid.
 
 The paper uses a 1-D scheme — "an entire column block k is assigned to one
 processor" — with the RAPID system choosing the assignment. We provide the
-classic policies; the mapping ablation benchmark compares them.
+classic 1-D policies (plain ``np.ndarray`` owner-per-column maps) plus the
+§6 2-D block-cyclic :class:`GridMapping`, which owns *blocks* rather than
+columns and therefore cannot be an array indexed by ``task.target``. Use
+:func:`task_owner` / :func:`mapping_key` to handle both shapes uniformly;
+the mapping ablation benchmark compares the policies.
 """
 
 from __future__ import annotations
@@ -12,6 +16,104 @@ import numpy as np
 from repro.numeric.costs import CostModel
 from repro.symbolic.supernodes import BlockPattern
 from repro.taskgraph.tasks import enumerate_tasks
+
+
+class GridMapping:
+    """2-D block-cyclic owner map on a ``pr × pc`` processor grid.
+
+    Block (i, j) — and every task that writes it — lives on processor
+    ``(i mod pr) * pc + (j mod pc)``, the classic torus-wrap layout the
+    2-D model (:mod:`repro.parallel.two_d`) simulates. For 1-D tasks
+    (no ``i`` field) the diagonal block row ``k`` stands in, so the same
+    object can drive a 1-D graph if asked.
+    """
+
+    __slots__ = ("pr", "pc")
+
+    def __init__(self, pr: int, pc: int) -> None:
+        if pr < 1 or pc < 1:
+            raise ValueError(f"grid {pr}x{pc} must be at least 1x1")
+        self.pr = int(pr)
+        self.pc = int(pc)
+
+    @property
+    def n_procs(self) -> int:
+        return self.pr * self.pc
+
+    def owner_of(self, task) -> int:
+        """Rank owning ``task``'s written block (its read block for SL)."""
+        i = getattr(task, "i", task.k)
+        return (int(i) % self.pr) * self.pc + (int(task.j) % self.pc)
+
+    @property
+    def key(self) -> tuple:
+        return ("2d", self.pr, self.pc)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GridMapping) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridMapping(pr={self.pr}, pc={self.pc})"
+
+    @classmethod
+    def for_workers(cls, n_workers: int) -> "GridMapping":
+        """Most-square grid with ``pr * pc == n_workers`` (cf.
+        :func:`repro.parallel.two_d.grid_shape`)."""
+        from repro.parallel.two_d import grid_shape
+
+        return cls(*grid_shape(n_workers))
+
+
+def is_grid_spec(policy: str) -> bool:
+    """Whether a mapping policy string names a 2-D grid (``2d``/``2d:PRxPC``)."""
+    return policy == "2d" or policy.startswith("2d:")
+
+
+def parse_grid_spec(policy: str, n_workers: int) -> GridMapping:
+    """Build the :class:`GridMapping` for a ``2d``/``2d:PRxPC`` spec.
+
+    Bare ``2d`` takes the most-square grid over ``n_workers``; an explicit
+    ``2d:PRxPC`` is honoured as long as it fits (``pr*pc <= n_workers``),
+    otherwise it degrades to the most-square fit — a tuned recipe must
+    stay runnable when the serving pool is smaller than the tuning target.
+    """
+    if not is_grid_spec(policy):
+        raise ValueError(f"not a 2-D mapping spec: {policy!r}")
+    if policy == "2d":
+        return GridMapping.for_workers(n_workers)
+    shape = policy[len("2d:") :]
+    try:
+        pr_s, pc_s = shape.split("x")
+        pr, pc = int(pr_s), int(pc_s)
+    except ValueError:
+        raise ValueError(
+            f"bad 2-D grid spec {policy!r}; expected '2d' or '2d:PRxPC'"
+        ) from None
+    if pr * pc > n_workers:
+        return GridMapping.for_workers(n_workers)
+    return GridMapping(pr, pc)
+
+
+def task_owner(mapping, task) -> int:
+    """Owner rank of ``task`` under either mapping shape.
+
+    1-D maps are arrays indexed by the task's target block column;
+    anything with an ``owner_of`` method (the 2-D grid) is asked directly.
+    """
+    if hasattr(mapping, "owner_of"):
+        return int(mapping.owner_of(task))
+    return int(mapping[task.target])
+
+
+def mapping_key(mapping) -> tuple:
+    """Hashable identity of a mapping — what plan/pool caches compare."""
+    if hasattr(mapping, "key"):
+        return mapping.key
+    arr = np.asarray(mapping, dtype=np.int64)
+    return ("1d", arr.tobytes())
 
 
 def cyclic_mapping(n_blocks: int, n_procs: int) -> np.ndarray:
@@ -41,12 +143,15 @@ def greedy_mapping(bp: BlockPattern, n_procs: int) -> np.ndarray:
     return owner
 
 
-def make_mapping(policy: str, bp: BlockPattern, n_procs: int) -> np.ndarray:
-    """Build a mapping by name: ``cyclic``, ``blocked``, or ``greedy``."""
+def make_mapping(policy: str, bp: BlockPattern, n_procs: int):
+    """Build a mapping by name: ``cyclic``, ``blocked``, ``greedy``, or a
+    2-D grid spec (``2d`` / ``2d:PRxPC``, returning :class:`GridMapping`)."""
     if policy == "cyclic":
         return cyclic_mapping(bp.n_blocks, n_procs)
     if policy == "blocked":
         return blocked_mapping(bp.n_blocks, n_procs)
     if policy == "greedy":
         return greedy_mapping(bp, n_procs)
+    if is_grid_spec(policy):
+        return parse_grid_spec(policy, n_procs)
     raise ValueError(f"unknown mapping policy {policy!r}")

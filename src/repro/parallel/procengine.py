@@ -65,6 +65,7 @@ import numpy as np
 
 from repro.numeric.blockdata import BlockLayout
 from repro.numeric.factor import LUFactorization
+from repro.parallel.mapping import GridMapping, mapping_key, task_owner
 from repro.taskgraph.dag import TaskGraph
 from repro.taskgraph.tasks import Task
 from repro.util.errors import AnalysisError, EngineError
@@ -366,6 +367,19 @@ def _worker_main(
                 if task.kind == "F":
                     engine._factor(task.k)
                     arena.pivots[task.k][...] = engine.pivoted_rows[task.k]
+                elif task.kind == "SL":
+                    engine._scale_lower(task.k, task.i)
+                elif task.kind == "SU":
+                    k = task.k
+                    engine._scale_upper(
+                        k,
+                        task.j,
+                        layout.sub_rows(k),
+                        arena.pivots[k],
+                        data.sub_panel(k),
+                    )
+                elif task.kind == "UP":
+                    engine._block_update(task.k, task.i, task.j)
                 else:
                     k = task.k
                     engine._apply_update(
@@ -519,8 +533,11 @@ def proc_factorize(
     n_workers:
         Number of worker processes (>= 1).
     mapping:
-        1-D block-column mapping ``owner[k] in [0, n_workers)``; default
-        cyclic. Tasks run on the owner of their target column.
+        1-D block-column mapping ``owner[k] in [0, n_workers)`` (default
+        blocked; tasks run on the owner of their target column) or a
+        :class:`repro.parallel.mapping.GridMapping` placing 2-D tasks
+        block-cyclically on a ``pr x pc`` grid (the default for a 2-D
+        graph is the most-square grid over ``n_workers``).
     metrics:
         Optional :class:`repro.obs.metrics.MetricsRegistry`; receives the
         ``engine.*`` aggregates (see :meth:`ProcStats.record_metrics`).
@@ -704,16 +721,25 @@ class ProcPool:
     ) -> dict:
         """Gate, flatten, allocate, fork — everything per-plan rather
         than per-factorization. Called with the lock held."""
-        from repro.analysis.footprints import expected_factor_tasks
+        from repro.analysis.footprints import (
+            expected_2d_tasks,
+            expected_factor_tasks,
+        )
         from repro.analysis.races import check_message_protocol
+        from repro.parallel.two_d import is_2d_graph
 
         bp = engine.bp
+        expected = (
+            expected_2d_tasks(bp)
+            if is_2d_graph(graph)
+            else expected_factor_tasks(bp)
+        )
         # No separate graph.validate(): the protocol gate runs the same
         # cycle check (as a Finding rather than a SchedulingError) and
         # the graph is walked exactly once before any process starts.
         findings = check_message_protocol(
             graph,
-            expected_factor_tasks(bp),
+            expected,
             owner=mapping,
             n_ranks=self.n_workers,
         )
@@ -740,7 +766,7 @@ class ProcPool:
             [task_index[s] for s in graph.successors(t)] for t in task_list
         ]
         indeg = [graph.in_degree(t) for t in task_list]
-        owner = [int(mapping[t.target]) for t in task_list]
+        owner = [task_owner(mapping, t) for t in task_list]
         notify = _notify_lists(succ_idx, owner, self.n_workers)
 
         arena = SharedArena(engine.data.layout)
@@ -777,6 +803,7 @@ class ProcPool:
             "graph": graph,
             "bp": engine.bp,
             "mapping": mapping,
+            "mapping_key": mapping_key(mapping),
             "fault_hook": fault_hook,
             "arena": arena,
             "inboxes": inboxes,
@@ -843,30 +870,39 @@ class ProcPool:
         :func:`proc_factorize`."""
         from repro.obs.trace import Tracer
         from repro.parallel.mapping import blocked_mapping
+        from repro.parallel.two_d import is_2d_graph
 
         with self._lock:
             if self._closed:
                 raise EngineError("ProcPool is closed")
             bp = engine.bp
             if mapping is None:
-                # Contiguous block ranges, not the simulator's cyclic
-                # default: most dependence edges stay rank-local, which
-                # cuts completion messages ~3x on the paper matrices —
-                # the dominant cost of a *process* pool, where every
-                # message is a pipe syscall rather than a queue append.
-                mapping = blocked_mapping(bp.n_blocks, self.n_workers)
-            mapping = np.asarray(mapping, dtype=np.int64)
+                if is_2d_graph(graph):
+                    # 2-D graphs place by block, not column: the
+                    # most-square grid is the layout the simulator scores.
+                    mapping = GridMapping.for_workers(self.n_workers)
+                else:
+                    # Contiguous block ranges, not the simulator's cyclic
+                    # default: most dependence edges stay rank-local,
+                    # which cuts completion messages ~3x on the paper
+                    # matrices — the dominant cost of a *process* pool,
+                    # where every message is a pipe syscall rather than a
+                    # queue append.
+                    mapping = blocked_mapping(bp.n_blocks, self.n_workers)
+            if not hasattr(mapping, "owner_of"):
+                mapping = np.asarray(mapping, dtype=np.int64)
             st = self._state
             # The plan key is object identity of the graph and block
             # pattern: every engine built from one symbolic plan shares
             # them (layouts may be rebuilt per engine, but a layout is a
             # pure function of the pattern, so bp identity suffices).
+            # Mappings compare by value (1-D array bytes or grid shape).
             if (
                 st is None
                 or st["graph"] is not graph
                 or st["bp"] is not bp
                 or st["fault_hook"] is not _fault_hook
-                or not np.array_equal(st["mapping"], mapping)
+                or st["mapping_key"] != mapping_key(mapping)
             ):
                 self._teardown()
                 st = self._bind(engine, graph, mapping, _fault_hook)
@@ -879,7 +915,19 @@ class ProcPool:
                 arena.panels[k][...] = engine.data.panels[k]
             tr = tracer if tracer is not None else Tracer(enabled=False)
             stats_by_rank: dict[int, dict] = {}
-            with tr.span("engine.proc", n_workers=self.n_workers) as span:
+            map_label = (
+                f"2d:{mapping.pr}x{mapping.pc}"
+                if isinstance(mapping, GridMapping)
+                else "1d"
+            )
+            if metrics is not None and isinstance(mapping, GridMapping):
+                # Encoded pr*1000 + pc (gauges are scalar): 2004 = 2x4.
+                metrics.gauge("factor.grid_shape").set(
+                    mapping.pr * 1000 + mapping.pc
+                )
+            with tr.span(
+                "engine.proc", n_workers=self.n_workers, mapping=map_label
+            ) as span:
                 t_start = time.perf_counter()
                 go_word = _MSG.pack(_GO)
                 try:

@@ -54,11 +54,20 @@ def threaded_factorize(
     # deadlock (missing tasks) or run tasks the engine does not expect.
     # Guarded on ``bp``: solve-phase adapters drive this scheduler too.
     if analysis_enabled() and hasattr(engine, "bp"):
-        from repro.analysis.footprints import expected_factor_tasks
+        from repro.analysis.footprints import (
+            expected_2d_tasks,
+            expected_factor_tasks,
+        )
         from repro.analysis.races import check_liveness
+        from repro.parallel.two_d import is_2d_graph
         from repro.util.errors import AnalysisError
 
-        findings = check_liveness(graph, expected_factor_tasks(engine.bp))
+        expected = (
+            expected_2d_tasks(engine.bp)
+            if is_2d_graph(graph)
+            else expected_factor_tasks(engine.bp)
+        )
+        findings = check_liveness(graph, expected)
         if findings:
             lines = "\n".join(str(f) for f in findings)
             raise AnalysisError(

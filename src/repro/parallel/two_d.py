@@ -17,12 +17,28 @@ inputs; and every task writing block ``(i,j)`` precedes the task that
 *consumes* the finished block (``F(j)`` when ``i = j``, ``SL(j,i)`` when
 ``i > j``, ``SU(i,j)`` when ``i < j``).
 
-Scope note: this is a *machine-model* extension used to study scalability
-(the motivation for 2-D is that 1-D column ownership serializes each
-column's updates on one processor); partial-pivoting row exchange is not
-modelled at the block-row level, matching the simulation-only status the
-paper assigns this direction. **Simulation, not execution** — the
-dispatchable engines (docs/parallel.md) are all 1-D.
+The module carries both halves of the 2-D story:
+
+* :func:`build_2d_model` + :func:`simulate_2d` — the α-β *machine model*
+  (block-level costs, 2-D block-cyclic ownership, per-block messages)
+  used by ``compare_1d_2d``, the ablation benchmark, and the autotuner's
+  mapping selector.
+* :func:`build_2d_graph` — the *executable* task graph: a real
+  :class:`~repro.taskgraph.dag.TaskGraph` over :class:`Task2D` nodes that
+  the dispatchable engines (sequential replay, ``threaded_factorize``,
+  and the fan-both proc engine — see docs/parallel.md) run against
+  :class:`~repro.numeric.blockdata.BlockLayout` panels via the per-block
+  kernels in :mod:`repro.numeric.factor`.
+
+The executable graph keeps the deferred-pivoting discipline exactly as in
+1-D — ``F(k)`` still pivots over the whole candidate panel, so the pivot
+sequence is identical to the 1-D engines' — and serializes each target
+column's update *steps* in ascending source order (``SU(k,j)`` waits for
+every ``UP`` of the previous step into column ``j``), which fixes the
+block-update summation order: every admissible schedule, on every engine,
+produces bitwise-identical factors, and those factors agree with the 1-D
+reference to rounding (the per-block GEMMs sum a column's update in the
+same source order, in different BLAS call shapes).
 """
 
 from __future__ import annotations
@@ -57,6 +73,12 @@ class Task2D(NamedTuple):
         if self.kind == "SU":
             return f"SU({self.k},{self.j})"
         return f"UP({self.k},{self.i},{self.j})"
+
+    @property
+    def target(self) -> int:
+        """Block column whose panel this task writes (or, for the
+        write-free ``SL``, reads) — what a 1-D owner map would index."""
+        return self.j
 
 
 @dataclass
@@ -148,6 +170,90 @@ def build_2d_model(bp: BlockPattern) -> TwoDModel:
     return TwoDModel(bp=bp, tasks=tasks, succ=succ, indeg=indeg, flops=flops)
 
 
+def build_2d_graph(bp: BlockPattern):
+    """The *executable* 2-D task graph over ``B̄`` (cf. :func:`build_2d_model`).
+
+    Task bodies are the per-block kernels of
+    :class:`repro.numeric.factor.LUFactorization` (``run_task`` dispatches
+    on ``kind``); the dependence structure is the machine model's plus the
+    edges an executed deferred-pivoting factorization additionally needs:
+
+    * ``F(k) → SL(k,i) / SU(k,j)`` — scales read the factored panel ``k``;
+    * ``SL(k,i), SU(k,j) → UP(k,i,j)`` — an update reads both its inputs;
+    * a per-column *step chain* in ascending source order: every task of
+      column ``j``'s step ``k`` (its ``UP(k,·,j)``, or ``SU(k,j)`` alone
+      when step ``k`` updates no stored block of ``j``) precedes
+      ``SU(k′,j)`` of the next step ``k′ > k``. ``SU``'s pivot-rename
+      scatter may touch any supported row of column ``j``, so steps cannot
+      overlap within one column — and the chain is exactly what pins the
+      block-update summation order, making every schedule bitwise-equal;
+    * the last step's tasks precede ``F(j)`` — the full-panel pivot search
+      needs every update to column ``j`` complete.
+
+    Updates of one step into *different* block rows carry no edges between
+    them: that intra-column concurrency is what 1-D column ownership
+    cannot exploit and the 2-D mapping can.
+    """
+    from repro.taskgraph.dag import TaskGraph
+
+    n = bp.n_blocks
+    upper = _upper_blocks_by_source(bp)
+    lower = [bp.col_blocks(k)[bp.col_blocks(k) > k].tolist() for k in range(n)]
+    stored = [set(int(b) for b in bp.col_blocks(j)) for j in range(n)]
+    # sources[j] = ascending k < j with a stored upper block (k, j).
+    sources: list[list[int]] = [[] for _ in range(n)]
+    for k in range(n):
+        for j in upper[k]:
+            sources[j].append(k)
+
+    g = TaskGraph()
+    for k in range(n):
+        f = Task2D("F", k, k, k)
+        g.add_task(f)
+        for i in lower[k]:
+            g.add_edge(f, Task2D("SL", k, int(i), k))
+        for j in upper[k]:
+            g.add_edge(f, Task2D("SU", k, k, int(j)))
+    for j in range(n):
+        tail: list[Task2D] = []
+        for k in sources[j]:
+            su = Task2D("SU", k, k, j)
+            for t in tail:
+                g.add_edge(t, su)
+            ups = [Task2D("UP", k, int(i), j) for i in lower[k] if int(i) in stored[j]]
+            for up in ups:
+                g.add_edge(Task2D("SL", k, up.i, k), up)
+                g.add_edge(su, up)
+            tail = ups if ups else [su]
+        for t in tail:
+            g.add_edge(t, Task2D("F", j, j, j))
+    return g
+
+
+_KIND_RANK = {"F": 0, "SL": 1, "SU": 2, "UP": 3}
+
+
+def canonical_2d_key(t: Task2D) -> tuple[int, int, int, int]:
+    """Total order approximating the right-looking sweep (source first)."""
+    return (t.k, _KIND_RANK[t.kind], t.i, t.j)
+
+
+def canonical_2d_order(graph) -> list[Task2D]:
+    """The fixed sequential replay order of a 2-D graph.
+
+    Any topological order yields the same factors (the step chains already
+    pin every summation); this one is the canonical reference the property
+    tests replay."""
+    return graph.topological_order(tie_break=canonical_2d_key)
+
+
+def is_2d_graph(graph) -> bool:
+    """Whether ``graph``'s nodes are :class:`Task2D` (vs 1-D ``Task``)."""
+    for t in graph.tasks():
+        return isinstance(t, Task2D)
+    return False
+
+
 def grid_shape(n_procs: int) -> tuple[int, int]:
     """Most-square ``pr x pc`` factorization of the processor count."""
     pr = int(np.sqrt(n_procs))
@@ -161,14 +267,22 @@ def simulate_2d(
     machine: MachineModel,
     *,
     model: TwoDModel | None = None,
+    grid: tuple[int, int] | None = None,
     record_trace: bool = False,
     metrics=None,
 ) -> EngineResult:
     """Simulate the 2-D factorization on a ``pr x pc`` grid of
-    ``machine.n_procs`` processors (2-D block-cyclic ownership)."""
+    ``machine.n_procs`` processors (2-D block-cyclic ownership).
+
+    ``grid`` overrides the most-square default shape; ``pr * pc`` must not
+    exceed the machine's processor count."""
     if model is None:
         model = build_2d_model(bp)
-    pr, pc = grid_shape(machine.n_procs)
+    pr, pc = grid if grid is not None else grid_shape(machine.n_procs)
+    if pr < 1 or pc < 1 or pr * pc > machine.n_procs:
+        raise ValueError(
+            f"grid {pr}x{pc} does not fit {machine.n_procs} processors"
+        )
     widths = np.diff(bp.partition.starts)
 
     def owner_of(t: Task2D) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.tune
@@ -131,6 +132,21 @@ class SymbolicPlan:
     @property
     def graph(self) -> TaskGraph:
         return self.artifacts.graph
+
+    @cached_property
+    def graph_2d(self) -> TaskGraph:
+        """The executable 2-D refinement of :attr:`graph` (F/SL/SU/UP over
+        block coordinates — :func:`repro.parallel.two_d.build_2d_graph`).
+
+        Built lazily on first access and cached on the instance: it is a
+        pure function of the (immutable) block pattern, so caching does
+        not perturb plan identity, and plans that never run under a 2-D
+        mapping never pay for it. ``cached_property`` writes straight to
+        ``__dict__``, which the frozen dataclass permits.
+        """
+        from repro.parallel.two_d import build_2d_graph
+
+        return build_2d_graph(self.bp)
 
     @property
     def n(self) -> int:

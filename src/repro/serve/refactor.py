@@ -115,7 +115,12 @@ def refactorize_with_plan(
     ``engine``/``n_workers`` select the numeric executor with the usual
     precedence (argument > ``$REPRO_ENGINE`` > sequential); the plan
     already carries the task graph the parallel engines schedule by.
-    ``pool`` optionally shares one
+    When the plan's tuned recipe pins a non-default ``mapping``, the
+    refactorization transparently runs under it: a ``2d``/``2d:PRxPC``
+    recipe swaps in the plan's 2-D task graph with the matching
+    :class:`~repro.parallel.mapping.GridMapping`, a 1-D policy name
+    builds that owner map (``cyclic``, the field default, keeps each
+    engine's own default placement). ``pool`` optionally shares one
     :class:`repro.parallel.procengine.ProcPool` across calls — the
     :class:`~repro.serve.service.SolverService` passes its own so serving
     threads never each spawn a process pool.
@@ -145,11 +150,28 @@ def refactorize_with_plan(
             metrics=tr.metrics if tr.detail else None,
             layout=plan.layout,
         )
+        graph = plan.graph
+        mapping = None
+        map_policy = plan.recipe.mapping if plan.recipe is not None else "cyclic"
+        if map_policy != "cyclic":
+            from repro.parallel.mapping import (
+                is_grid_spec,
+                make_mapping,
+                parse_grid_spec,
+            )
+
+            if is_grid_spec(map_policy):
+                graph = plan.graph_2d
+                mapping = parse_grid_spec(map_policy, n_workers)
+            else:
+                mapping = make_mapping(map_policy, plan.bp, n_workers)
+        s.set(mapping=map_policy)
         run_engine(
             eng,
-            plan.graph,
+            graph,
             resolve_engine(engine),
             n_workers=n_workers,
+            mapping=mapping,
             metrics=tr.metrics if tr.detail else None,
             tracer=tr,
             pool=pool,

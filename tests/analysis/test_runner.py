@@ -30,7 +30,7 @@ class TestAnalyzePlan:
                 random_pivot_matrix(40, seed), name=f"rand{seed}"
             )
             assert report.ok, report.render()
-            assert len(report.subjects) == 4
+            assert len(report.subjects) == 5
 
     def test_no_postorder_option(self):
         report = analyze_matrix(
@@ -56,6 +56,7 @@ class TestAnalyzePlan:
         assert names == {
             "m/structure",
             "m/factor-graph",
+            "m/factor-graph-2d",
             "m/solve-graph",
             "m/minimality",
         }

@@ -97,6 +97,45 @@ class TestServiceTune:
         assert len(svc.cache) == 1
         svc.close()
 
+    def test_2d_recipe_survives_recipe_store(self, sherman):
+        """A tuned 2-D mapping round-trips through the PlanCache recipe
+        store and lands on the built plan's provenance recipe."""
+        cache = PlanCache()
+        r = OrderingRecipe(ordering="amd", mapping="2d:2x2")
+        cache.put_recipe(sherman, r)
+        stored = cache.get_recipe(sherman)
+        assert stored is not None and stored[0] == r
+        assert stored[0].mapping == "2d:2x2"
+        plan = cache.get_or_build_tuned(sherman)
+        assert plan.recipe is not None and plan.recipe.mapping == "2d:2x2"
+        # Execution choice only: the plan's symbolic options are identical
+        # to the same recipe without the mapping.
+        assert plan.options == OrderingRecipe(ordering="amd").apply(
+            SolverOptions()
+        )
+
+    def test_tune_picks_up_2d_candidate_and_serves(self, sherman):
+        """SolverService.tune() with a 2-D winner: the recipe is stored,
+        the pre-built plan carries it, and requests refactorize under the
+        2-D graph transparently (same solutions)."""
+        svc = SolverService(n_workers=0)
+        result = svc.tune(
+            sherman,
+            n_procs=16,
+            candidates=[OrderingRecipe(ordering="amd", mapping="2d")],
+        )
+        assert result.recipe.mapping == "2d"
+        stored = svc.cache.get_recipe(sherman)
+        assert stored is not None and stored[0].mapping == "2d"
+        tuned_opts = result.recipe.apply(svc.options)
+        plan = svc.cache.get(sherman, tuned_opts)
+        assert plan is not None and plan.recipe.mapping == "2d"
+        b = np.ones(sherman.n_rows)
+        p = svc.submit(sherman, b)
+        svc.process_once()
+        assert residual(sherman, p.result(timeout=5), b) < 1e-8
+        svc.close()
+
     def test_opt_out_keeps_plain_options(self, sherman):
         svc = SolverService(n_workers=0, use_tuned_recipes=False)
         svc.tune(sherman, quick=True, build=False)

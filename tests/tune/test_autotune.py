@@ -22,7 +22,7 @@ def sherman3():
 class TestDefaultCandidates:
     def test_quick_is_one_padding_per_ordering(self):
         quick = default_candidates(quick=True)
-        assert len(quick) == 5
+        assert len(quick) == 6
         assert {r.ordering for r in quick} == {
             "mindeg", "amd", "rcm", "dissect", "natural",
         }

@@ -43,6 +43,20 @@ class TestConstruction:
         assert a == b and a.key == b.key and hash(a) == hash(b)
         assert a.key != OrderingRecipe(ordering="amd").key
 
+    def test_mapping_accepted(self):
+        for mapping in ("cyclic", "blocked", "greedy", "2d", "2d:2x4"):
+            assert OrderingRecipe(mapping=mapping).mapping == mapping
+
+    def test_rejects_bad_mapping(self):
+        for mapping in ("grid", "2d:", "2d:2x", "2d:x4", "2d:0x4", "2d:2x4x8"):
+            with pytest.raises(ValueError):
+                OrderingRecipe(mapping=mapping)
+
+    def test_mapping_in_key(self):
+        assert (
+            OrderingRecipe(mapping="2d").key != OrderingRecipe().key
+        )
+
 
 class TestSpecRoundTrip:
     @pytest.mark.parametrize(
@@ -54,6 +68,9 @@ class TestSpecRoundTrip:
             "rcm:amalg=false",
             "dissect:leaf_size=96,pad=0.4,max=96",
             "natural:pad=0.1",
+            "mindeg:map=2d",
+            "amd:pad=0.4,map=2d:2x4",
+            "rcm:map=greedy",
         ],
     )
     def test_roundtrip(self, spec):
@@ -112,3 +129,19 @@ class TestOptionsWiring:
     def test_dict_roundtrip(self):
         r = OrderingRecipe(ordering="dissect", params=(("leaf_size", 128),))
         assert OrderingRecipe.from_dict(r.as_dict()) == r
+
+    def test_dict_roundtrip_keeps_mapping(self):
+        r = OrderingRecipe(ordering="amd", mapping="2d:2x4")
+        assert OrderingRecipe.from_dict(r.as_dict()) == r
+        assert OrderingRecipe.from_dict(r.as_dict()).mapping == "2d:2x4"
+
+    def test_mapping_stays_out_of_solver_options(self):
+        # The mapping is an execution choice, not a symbolic knob: apply()
+        # must not fold it into SolverOptions (it would change plan
+        # identity / symbolic_key for no symbolic difference).
+        r = OrderingRecipe(ordering="amd", mapping="2d")
+        opts = r.apply()
+        assert not hasattr(opts, "mapping")
+        assert opts.symbolic_key() == OrderingRecipe(
+            ordering="amd"
+        ).apply().symbolic_key()
