@@ -1,20 +1,32 @@
-"""Symbolic-kernel benchmark: reference vs. fast implementations.
+"""Symbolic-kernel benchmark: reference vs. fast vs. chunked.
 
 Runs the symbolic pipeline (static fill + eforest + postorder) through
-both implementations on the same preprocessed sherman3-class patterns at
+all implementations on the same preprocessed sherman3-class patterns at
 several scales, cross-checking that the outputs agree entry-for-entry,
 and emits the timings as the ``bench_symbolic`` paired artifact
 (``results/bench_symbolic.{txt,json}``).
 
-Two assertions pin the acceptance bars: the fast path must be >= 3x
-faster than the reference at the largest benched size, and the
+Two assertions pin the classic acceptance bars: the fast path must be
+>= 3x faster than the reference at the largest benched size, and the
 path-compressed ``column_etree`` walk must beat the uncompressed walk on
 the arrow (chain-etree) pattern where the latter is quadratic.
+
+A second test runs the large-n tier (banded/arrow/grid patterns around
+n = 2x10^5) and pins the chunked kernel's bars: tracemalloc peak memory
+<= ``MAX_PEAK_FRACTION`` of fast at the largest benched size, and — on
+multi-core boxes only — a >= ``MIN_PARALLEL_RATIO`` parallel-merge
+speedup over single-worker chunked on the decomposable grid family. On
+single-CPU machines the ratio is still recorded but the artifact says
+``ratio_enforced: false`` instead of faking the bar.
 """
 
 from repro.symbolic.bench import (
     DEFAULT_SCALES,
+    MAX_PEAK_FRACTION,
+    MIN_PARALLEL_RATIO,
     MIN_SPEEDUP,
+    large_summary_rows,
+    run_large_n_benchmark,
     run_symbolic_benchmark,
     summary_rows,
 )
@@ -46,3 +58,29 @@ def test_bench_symbolic_reference_vs_fast(emit):
     # ...and ancestor compression beats the uncompressed walk where the
     # uncompressed walk is quadratic (before/after micro-assert).
     assert data["etree"]["speedup"] > 1.0, data["etree"]
+
+
+def test_bench_symbolic_large_n(emit):
+    data = run_large_n_benchmark(tier="quick")
+    text = format_table(
+        ["quantity", "value"],
+        large_summary_rows(data),
+        title="symbolic-bench --large-n: quick tier",
+    )
+    emit("bench_symbolic_large_n", text, data)
+
+    # Chunked produced the same fill pattern and postorder as fast on
+    # every family (run_large_n_benchmark raises otherwise).
+    assert data["patterns_equal"]
+    # The streaming kernel pays the memory bar at the largest size.
+    assert data["memory_measured"]
+    largest = data["largest"]
+    assert largest["peak_ratio"] is not None
+    assert largest["peak_ratio"] <= MAX_PEAK_FRACTION, largest
+    # The parallel subtree merge is measured on the grid family (the only
+    # decomposable one); its bar applies only where >= 2 CPUs can
+    # actually run the workers.
+    par = data["parallel"]
+    assert par is not None and par["ratio"] > 0.0, par
+    if data["ratio_enforced"]:
+        assert par["ratio"] >= MIN_PARALLEL_RATIO, par

@@ -372,6 +372,8 @@ def cmd_symbolic_bench(args: argparse.Namespace) -> int:
     from repro.obs.trace import Tracer
     from repro.symbolic.bench import run_symbolic_benchmark, summary_rows
 
+    if args.large_n is not None:
+        return _symbolic_large_n(args)
     if args.quick:
         scales, repeats, etree_n = (0.05, 0.1), 1, 400
     else:
@@ -396,6 +398,43 @@ def cmd_symbolic_bench(args: argparse.Namespace) -> int:
             text=text,
             data=data,
             meta={"benchmark": "symbolic-bench", "quick": bool(args.quick)},
+        )
+        errors = validate_bench_document(doc)
+        if errors:  # defensive: bench_document should always emit valid docs
+            for e in errors:
+                print(f"bench schema error: {e}", file=sys.stderr)
+            return 1
+        write_json(args.json, doc)
+        print(f"benchmark artifact written to {args.json}")
+    print(text)
+    return 0
+
+
+def _symbolic_large_n(args: argparse.Namespace) -> int:
+    """``repro symbolic-bench --large-n``: the fast-vs-chunked scaling tier."""
+    from repro.obs.export import bench_document, validate_bench_document, write_json
+    from repro.obs.trace import Tracer
+    from repro.symbolic.bench import large_summary_rows, run_large_n_benchmark
+
+    tracer = Tracer()
+    data = run_large_n_benchmark(
+        tier=args.large_n,
+        chunk=args.chunk,
+        workers=args.workers,
+        measure_memory=not args.no_memory,
+        tracer=tracer,
+    )
+    text = format_table(
+        ["quantity", "value"],
+        large_summary_rows(data),
+        title=f"symbolic-bench --large-n: {data['tier']} tier",
+    )
+    if args.json:
+        doc = bench_document(
+            "bench_symbolic_large_n",
+            text=text,
+            data=data,
+            meta={"benchmark": "symbolic-bench-large-n", "tier": data["tier"]},
         )
         errors = validate_bench_document(doc)
         if errors:  # defensive: bench_document should always emit valid docs
@@ -706,7 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "symbolic-bench",
-        help="reference-vs-fast benchmark of the symbolic kernels",
+        help="reference/fast/chunked benchmark of the symbolic kernels",
     )
     p.add_argument(
         "--quick", action="store_true", help="small smoke run (CI-friendly)"
@@ -723,6 +762,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--etree-n", type=int, default=1500,
         help="arrow-pattern size for the column-etree compression bench",
+    )
+    p.add_argument(
+        "--large-n",
+        nargs="?",
+        const="quick",
+        choices=("quick", "full"),
+        default=None,
+        help="run the large-n fast-vs-chunked tier instead (peak-memory "
+        "and parallel-merge scaling); optional tier name, default quick",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=None,
+        help="chunked-impl column chunk size (default: auto heuristic)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="chunked-impl merge threads for the parallel large-n row",
+    )
+    p.add_argument(
+        "--no-memory", action="store_true",
+        help="skip the (slow) tracemalloc peak-memory pass of --large-n",
     )
     p.add_argument(
         "--json", metavar="PATH", help="write the repro.bench JSON artifact"

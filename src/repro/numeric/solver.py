@@ -105,6 +105,15 @@ class SolverOptions:
     equilibrate:
         Max-norm row/column scaling before the pipeline (SuperLU's
         ``equil``); improves pivoting on badly scaled physical systems.
+    symbolic_params:
+        Execution knobs of the ``"chunked"`` static-fill kernel as a
+        sorted tuple of ``(name, value)`` pairs — ``"chunk"`` (column
+        chunk size) and/or ``"workers"`` (merge thread count), positive
+        ints. Like :attr:`repro.tune.OrderingRecipe.mapping`, these are
+        deliberately *not* part of :meth:`symbolic_key`: every chunked
+        configuration produces the same artifacts bit-for-bit, so keying
+        on them would only fragment the plan cache. Ignored by the
+        ``"fast"``/``"reference"`` implementations.
     """
 
     ordering: str = "mindeg"
@@ -115,6 +124,7 @@ class SolverOptions:
     max_supernode: int = 48
     task_graph: str = "eforest"
     equilibrate: bool = False
+    symbolic_params: tuple = ()
 
     def __post_init__(self) -> None:
         if self.ordering not in ORDERINGS:
@@ -128,10 +138,26 @@ class SolverOptions:
                     f"ordering_params values must be scalars, got {v!r}"
                 )
         self.ordering_params = params
+        sym = tuple(sorted((str(k), v) for k, v in self.symbolic_params))
+        for k, v in sym:
+            if k not in ("chunk", "workers"):
+                raise ValueError(
+                    f"unknown symbolic_params key {k!r}; expected 'chunk' or "
+                    "'workers'"
+                )
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                raise ValueError(
+                    f"symbolic_params[{k!r}] must be a positive int, got {v!r}"
+                )
+        self.symbolic_params = sym
 
     def ordering_kwargs(self) -> dict:
         """The ``ordering_params`` pairs as a keyword dict."""
         return dict(self.ordering_params)
+
+    def symbolic_kwargs(self) -> dict:
+        """The ``symbolic_params`` pairs as a keyword dict."""
+        return dict(self.symbolic_params)
 
     def with_recipe(self, recipe) -> "SolverOptions":
         """Options with ``recipe``'s ordering/amalgamation knobs applied.
@@ -252,7 +278,9 @@ def run_symbolic_pipeline(
 
     impl = resolve_impl()
     with tr.span("static_fill", impl=impl) as s:
-        fill = static_symbolic_factorization(work, impl=impl, tracer=tr)
+        fill = static_symbolic_factorization(
+            work, impl=impl, tracer=tr, **opts.symbolic_kwargs()
+        )
         s.set(nnz_filled=fill.nnz, fill_ratio=fill.fill_ratio)
 
     n_btf_blocks = 0

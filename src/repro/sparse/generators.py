@@ -214,6 +214,144 @@ def finite_element_matrix(
     return builder.to_csc()
 
 
+# ---------------------------------------------------------------------------
+# Large-n pattern families (symbolic scaling benchmarks)
+# ---------------------------------------------------------------------------
+#
+# The three families below are *pattern-only* (no values) and built fully
+# vectorized so n = 10⁶ instances assemble in well under a second. Each has
+# a zero-free diagonal by construction, so the large-n symbolic benchmarks
+# skip the maximum-transversal stage entirely. They stress the chunked
+# symbolic kernel in complementary ways:
+#
+# * banded — chain column etree, fill confined near the diagonal: pure
+#   streaming, zero subtree parallelism, minimal cross-chunk carry.
+# * arrow — chain etree plus a dense last column: every elimination step
+#   emits a sliver into the final chunk, the worst case for the carry
+#   buckets (and, historically, for the uncompressed column etree).
+# * grid — tiled 5-point stencil whose interior tiles are independent
+#   column-etree subtrees: the subtree-parallel merge showcase.
+
+
+def _pattern_from_entries(
+    n: int, rows: np.ndarray, cols: np.ndarray
+) -> CSCMatrix:
+    """Sorted pattern-only CSC from unique (row, col) int64 entry arrays."""
+    from repro.sparse.csc import INDEX_DTYPE
+
+    order = np.lexsort((rows, cols))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(cols, minlength=n), out=indptr[1:])
+    return CSCMatrix(
+        n, n, indptr, rows[order].astype(INDEX_DTYPE), None, check=False
+    )
+
+
+def banded_pattern(
+    n: int, *, band: int = 4, keep: float = 0.6, seed=None
+) -> CSCMatrix:
+    """Random banded pattern: diagonal plus thinned band of half-width ``band``.
+
+    Each off-diagonal position within the band is kept independently with
+    probability ``keep``; the diagonal is always stored. The column etree
+    is (near-)chain-shaped, so this family exercises pure streaming — long
+    sequential merges with short tails — without any subtree parallelism.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if band < 1:
+        raise ValueError(f"band must be >= 1, got {band}")
+    rng = make_rng(seed)
+    diag = np.arange(n, dtype=np.int64)
+    rows_parts = [diag]
+    cols_parts = [diag]
+    for d in range(-band, band + 1):
+        if d == 0:
+            continue
+        cols = diag[max(0, -d) : n - max(0, d)]
+        kept = cols[rng.random(cols.size) < keep]
+        rows_parts.append(kept + d)
+        cols_parts.append(kept)
+    return _pattern_from_entries(
+        n, np.concatenate(rows_parts), np.concatenate(cols_parts)
+    )
+
+
+def arrow_pattern(n: int, *, band: int = 1) -> CSCMatrix:
+    """Band of half-width ``band`` plus a dense last column.
+
+    The banded part builds a chain column etree (``parent[i] = i + 1``) and
+    the dense last column then couples every row into it — the worst case
+    for the uncompressed etree walk (see
+    :func:`repro.symbolic.bench.etree_compression_bench`) and, under the
+    chunked symbolic kernel, for the cross-chunk carry buckets: every
+    elimination step emits a one-entry sliver destined for the final chunk.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    diag = np.arange(n - 1, dtype=np.int64)  # banded part spares column n-1
+    rows_parts = [diag]
+    cols_parts = [diag]
+    for d in range(-band, band + 1):
+        if d == 0:
+            continue
+        cols = diag[max(0, -d) : diag.size]
+        rows = cols + d
+        valid = rows < n
+        rows_parts.append(rows[valid])
+        cols_parts.append(cols[valid])
+    rows_parts.append(np.arange(n, dtype=np.int64))  # dense last column
+    cols_parts.append(np.full(n, n - 1, dtype=np.int64))
+    return _pattern_from_entries(
+        n, np.concatenate(rows_parts), np.concatenate(cols_parts)
+    )
+
+
+def grid_pattern(nx: int, ny: int = 16, *, tiles: int = 8) -> CSCMatrix:
+    """Tiled 5-point stencil on an ``nx × ny`` strip grid.
+
+    The x-lines are split into ``tiles`` contiguous tiles separated by
+    two-line interfaces; interior columns are numbered tile by tile and the
+    interface columns last (a one-level domain decomposition ordering).
+    Because the interfaces are two lines wide, interior nodes of different
+    tiles are at graph distance ≥ 3 and therefore never couple in ``AᵀA``
+    — each tile interior is a union of complete column-etree subtrees,
+    which is exactly the shape the chunked kernel's parallel subtree merge
+    exploits. ``n = nx * ny``.
+    """
+    if nx < 3 * tiles:
+        raise ValueError(f"nx must be >= 3 * tiles, got nx={nx}, tiles={tiles}")
+    if ny < 1 or tiles < 1:
+        raise ValueError(f"ny and tiles must be >= 1, got ny={ny}, tiles={tiles}")
+    n = nx * ny
+    bounds = np.linspace(0, nx, tiles + 1).astype(np.int64)
+    sep = np.zeros(nx, dtype=bool)
+    for t in range(1, tiles):
+        sep[bounds[t] - 2 : bounds[t]] = True
+    # New x order: interiors ascending (tiles are contiguous, so this also
+    # groups them by tile), then the interface lines ascending.
+    order_x = np.concatenate([np.nonzero(~sep)[0], np.nonzero(sep)[0]])
+    inv_x = np.empty(nx, dtype=np.int64)
+    inv_x[order_x] = np.arange(nx, dtype=np.int64)
+
+    gx, gy = np.meshgrid(
+        np.arange(nx, dtype=np.int64), np.arange(ny, dtype=np.int64),
+        indexing="ij",
+    )
+    gx, gy = gx.ravel(), gy.ravel()
+    center = inv_x[gx] * ny + gy
+    rows_parts = [center]
+    cols_parts = [center]
+    for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        jx, jy = gx + dx, gy + dy
+        valid = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny)
+        rows_parts.append(inv_x[jx[valid]] * ny + jy[valid])
+        cols_parts.append(center[valid])
+    return _pattern_from_entries(
+        n, np.concatenate(rows_parts), np.concatenate(cols_parts)
+    )
+
+
 def random_sparse(
     n: int,
     *,

@@ -30,6 +30,10 @@ from repro.symbolic.static_fill import (
     simulate_elimination_fill,
     ata_cholesky_bound,
 )
+from repro.symbolic.chunked import (
+    auto_chunk_size,
+    static_symbolic_factorization_chunked,
+)
 from repro.symbolic.eforest import (
     lu_elimination_forest,
     lu_elimination_forest_fast,
@@ -75,6 +79,8 @@ __all__ = [
     "static_symbolic_factorization",
     "static_symbolic_factorization_fast",
     "static_symbolic_factorization_reference",
+    "static_symbolic_factorization_chunked",
+    "auto_chunk_size",
     "simulate_elimination_fill",
     "ata_cholesky_bound",
     "lu_elimination_forest",

@@ -1,16 +1,32 @@
-"""Reference-vs-fast benchmark for the symbolic kernels.
+"""Benchmarks for the symbolic kernels: impl comparison and large-n scaling.
 
-Times the three kernels the fast path rewrites — static symbolic
-factorization, LU eforest extraction, and the postorder permutation — on
-the paper-scale generator matrices, running the same preprocessed pattern
-through both implementations (see :mod:`repro.symbolic.dispatch`) and
-verifying they agree entry-for-entry while timing them. The ordering and
-transversal stages are shared, untimed preparation: they are identical in
-both paths and would only dilute the comparison.
+Two benchmark surfaces share this module:
+
+* :func:`run_symbolic_benchmark` times the three kernels the fast path
+  rewrites — static symbolic factorization, LU eforest extraction, and
+  the postorder permutation — on the paper-scale generator matrices,
+  running the same preprocessed pattern through the ``reference``,
+  ``fast``, and ``chunked`` implementations (see
+  :mod:`repro.symbolic.dispatch`) and verifying they agree
+  entry-for-entry while timing them. The ordering and transversal stages
+  are shared, untimed preparation: they are identical in all paths and
+  would only dilute the comparison.
+
+* :func:`run_large_n_benchmark` runs the large-n tier — the synthetic
+  banded/arrow/grid families of :mod:`repro.sparse.generators` at
+  10⁵–10⁶ columns — recording wall time *and* allocator-level peak
+  memory (``tracemalloc``) per implementation, plus the chunked kernel's
+  own ``symbolic.peak_bytes`` model gauge. ``benchmarks/bench_symbolic.py``
+  pins the chunked peak ≤ :data:`MAX_PEAK_FRACTION` of the fast path's
+  at the largest benched size, and the subtree-parallel merge ≥
+  :data:`MIN_PARALLEL_RATIO` over single-worker chunked on the grid
+  family (enforced only with ≥ ``MULTICORE_MIN_CPUS`` schedulable CPUs,
+  the :mod:`repro.parallel.bench` convention).
 
 Also times :func:`repro.ordering.etree.column_etree` with and without
-ancestor compression on an arrow-shaped pattern (tridiagonal plus a dense
-last row), the chain-etree case where the uncompressed walk is quadratic.
+ancestor compression on an arrow-shaped pattern (a band plus a dense
+last column), the chain-etree case where the uncompressed walk is
+quadratic.
 
 Used by ``repro symbolic-bench`` and ``benchmarks/bench_symbolic.py``.
 """
@@ -18,6 +34,7 @@ Used by ``repro symbolic-bench`` and ``benchmarks/bench_symbolic.py``.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from typing import Optional, Sequence
 
 import numpy as np
@@ -26,8 +43,14 @@ from repro.obs.trace import Tracer
 from repro.ordering.etree import column_etree
 from repro.ordering.mindeg import minimum_degree_ata
 from repro.ordering.transversal import zero_free_diagonal_permutation
-from repro.sparse.csc import CSCMatrix, INDEX_DTYPE
-from repro.sparse.generators import paper_matrix
+from repro.parallel.bench import MULTICORE_MIN_CPUS, available_cpus
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import (
+    arrow_pattern,
+    banded_pattern,
+    grid_pattern,
+    paper_matrix,
+)
 from repro.sparse.ops import permute
 from repro.symbolic.postorder import postorder_pipeline
 from repro.symbolic.static_fill import static_symbolic_factorization
@@ -36,7 +59,31 @@ from repro.symbolic.static_fill import static_symbolic_factorization
 #: largest benched size.
 MIN_SPEEDUP = 3.0
 
+#: Large-n tier bar: chunked peak memory ≤ this fraction of fast's peak
+#: at the largest benched size.
+MAX_PEAK_FRACTION = 0.5
+
+#: Large-n tier bar: subtree-parallel chunked speedup over single-worker
+#: chunked on the grid family (waived below ``MULTICORE_MIN_CPUS``).
+MIN_PARALLEL_RATIO = 1.3
+
 DEFAULT_SCALES = (0.25, 0.5, 1.0)
+
+#: Large-n pattern families per tier. ``quick`` is the CI smoke size
+#: (n ≈ 2×10⁵ at the top); ``full`` is the committed-artifact size
+#: (n = 10⁶ at the top). The grid rows are ``nx × 16`` with 8 tiles.
+LARGE_N_TIERS: dict[str, tuple] = {
+    "quick": (
+        ("banded", {"n": 200_000}),
+        ("arrow", {"n": 60_000}),
+        ("grid", {"nx": 3_750}),
+    ),
+    "full": (
+        ("banded", {"n": 1_000_000}),
+        ("arrow", {"n": 400_000}),
+        ("grid", {"nx": 15_625}),
+    ),
+}
 
 
 def _prepare(matrix: str, scale: float) -> CSCMatrix:
@@ -66,26 +113,8 @@ def _patterns_equal(a: CSCMatrix, b: CSCMatrix) -> bool:
     )
 
 
-def arrow_pattern(n: int) -> CSCMatrix:
-    """Tridiagonal plus a dense last column: the uncompressed-etree worst case.
-
-    The tridiagonal part builds a chain etree (``parent[i] = i + 1``), and
-    the dense last column then walks from every row's previously-seen
-    column up that chain. Without compression each walk re-traverses the
-    remaining chain — quadratic in ``n`` — while the compressed walk
-    shortcuts through the ``ancestor`` array and stays near-linear.
-    """
-    cols = []
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    for j in range(n):
-        if j == n - 1:
-            rows = range(n)
-        else:
-            rows = sorted({max(j - 1, 0), j, j + 1})
-        r = np.fromiter(rows, dtype=INDEX_DTYPE)
-        cols.append(r)
-        indptr[j + 1] = indptr[j] + r.size
-    return CSCMatrix(n, n, indptr, np.concatenate(cols), None, check=False)
+# arrow_pattern used to live here; it moved to repro.sparse.generators
+# (generalized with a ``band`` knob) and stays importable from this module.
 
 
 def etree_compression_bench(n: int = 1500, repeats: int = 2) -> dict:
@@ -116,9 +145,9 @@ def run_symbolic_benchmark(
     etree_n: int = 1500,
     tracer: Optional[Tracer] = None,
 ) -> dict:
-    """Reference-vs-fast timings; returns the result document's ``data``.
+    """Reference/fast/chunked timings; returns the result document's ``data``.
 
-    Each scale runs both implementations on the identical preprocessed
+    Each scale runs all three implementations on the identical preprocessed
     pattern (best-of-``repeats`` wall time) and cross-checks that the
     static-fill patterns, eforest parent arrays, and postorder permutations
     match exactly — the benchmark doubles as an end-to-end equality check
@@ -144,9 +173,16 @@ def run_symbolic_benchmark(
                 fast_s, (fast_fill, fast_po) = _time_pipeline(
                     work, "fast", repeats
                 )
+                chunked_s, (chunked_fill, chunked_po) = _time_pipeline(
+                    work, "chunked", repeats
+                )
             if not _patterns_equal(ref_fill.pattern, fast_fill.pattern):
                 raise AssertionError(
                     f"static fill patterns differ at scale {scale}"
+                )
+            if not _patterns_equal(fast_fill.pattern, chunked_fill.pattern):
+                raise AssertionError(
+                    f"chunked static fill differs from fast at scale {scale}"
                 )
             if not np.array_equal(ref_po.parent_before, fast_po.parent_before):
                 raise AssertionError(
@@ -156,6 +192,10 @@ def run_symbolic_benchmark(
                 raise AssertionError(
                     f"postorder permutations differ at scale {scale}"
                 )
+            if not np.array_equal(fast_po.perm, chunked_po.perm):
+                raise AssertionError(
+                    f"chunked postorder permutation differs at scale {scale}"
+                )
             rows.append(
                 {
                     "scale": scale,
@@ -164,6 +204,7 @@ def run_symbolic_benchmark(
                     "nnz_filled": fast_fill.nnz,
                     "reference_s": ref_s,
                     "fast_s": fast_s,
+                    "chunked_s": chunked_s,
                     "speedup": ref_s / fast_s if fast_s > 0 else 0.0,
                 }
             )
@@ -184,11 +225,16 @@ def summary_rows(data: dict) -> list:
     """``(quantity, value)`` rows for the terminal table."""
     out = []
     for row in data["pipeline"]:
+        chunked = (
+            f" / chunked {row['chunked_s'] * 1e3:.1f} ms"
+            if "chunked_s" in row
+            else ""
+        )
         out.append(
             (
                 f"{data['matrix']} scale {row['scale']:g} (n={row['n']})",
                 f"ref {row['reference_s'] * 1e3:.1f} ms / "
-                f"fast {row['fast_s'] * 1e3:.1f} ms = "
+                f"fast {row['fast_s'] * 1e3:.1f} ms{chunked} = "
                 f"{row['speedup']:.2f}x",
             )
         )
@@ -208,5 +254,206 @@ def summary_rows(data: dict) -> list:
             f"{etree['speedup']:.2f}x",
         )
     )
+    out.append(("implementations agree", str(data["patterns_equal"]).lower()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Large-n tier (chunked-vs-fast memory and parallel-merge scaling)
+# ---------------------------------------------------------------------------
+
+def _large_pattern(name: str, params: dict) -> CSCMatrix:
+    """Build one large-n family member (zero-free diagonal by construction)."""
+    if name == "banded":
+        return banded_pattern(params["n"], band=4, keep=0.6, seed=1)
+    if name == "arrow":
+        return arrow_pattern(params["n"])
+    if name == "grid":
+        return grid_pattern(params["nx"], 16, tiles=8)
+    raise ValueError(f"unknown large-n pattern {name!r}")
+
+
+def _timed_fill(work: CSCMatrix, impl: str, **kwargs):
+    t0 = time.perf_counter()
+    fill = static_symbolic_factorization(work, impl=impl, **kwargs)
+    return time.perf_counter() - t0, fill
+
+
+def _traced_peak(fn, *args, **kwargs) -> tuple[int, object]:
+    """Allocator-level peak bytes of one call, via ``tracemalloc``.
+
+    Run as a separate untimed pass: tracing slows the merge loop several
+    fold, so the timing columns never run under it. NumPy ≥ 1.22 reports
+    its buffer allocations to tracemalloc, so array peaks are included.
+    """
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        base = tracemalloc.get_traced_memory()[0]
+        result = fn(*args, **kwargs)
+        peak = tracemalloc.get_traced_memory()[1] - base
+    finally:
+        tracemalloc.stop()
+    return int(peak), result
+
+
+def run_large_n_benchmark(
+    *,
+    tier: str = "quick",
+    chunk: Optional[int] = None,
+    workers: Optional[int] = None,
+    measure_memory: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> dict:
+    """Fast-vs-chunked scaling tier; returns the result document's ``data``.
+
+    For every pattern in :data:`LARGE_N_TIERS` ``[tier]``: time the fast
+    and (single-worker) chunked static fill, cross-check the patterns
+    entry-for-entry, and — when ``measure_memory`` — record each
+    implementation's ``tracemalloc`` peak plus the chunked kernel's
+    ``symbolic.peak_bytes`` model gauge. The grid family additionally
+    times the subtree-parallel merge with ``workers`` threads (default:
+    ``min(4, available_cpus())``, but at least 2 so the parallel code
+    path is always exercised). The peak-fraction and parallel-ratio bars
+    are *recorded* here and *enforced* by benchmarks/bench_symbolic.py
+    and the CI smoke step, with the parallel bar waived below
+    ``MULTICORE_MIN_CPUS`` schedulable CPUs.
+    """
+    if tier not in LARGE_N_TIERS:
+        raise ValueError(
+            f"unknown tier {tier!r}; expected one of {sorted(LARGE_N_TIERS)}"
+        )
+    tr = tracer if tracer is not None else Tracer(enabled=False)
+    cpus = available_cpus()
+    n_workers = int(workers) if workers is not None else max(2, min(4, cpus))
+    rows = []
+    parallel = None
+    with tr.span("symbolic_large_n", tier=tier, workers=n_workers):
+        for name, params in LARGE_N_TIERS[tier]:
+            with tr.span("symbolic_large_n.pattern", pattern=name):
+                work = _large_pattern(name, params)
+                fast_s, fast_fill = _timed_fill(work, "fast")
+                chunked_s, chunked_fill = _timed_fill(
+                    work, "chunked", chunk=chunk, workers=1
+                )
+                if not _patterns_equal(fast_fill.pattern, chunked_fill.pattern):
+                    raise AssertionError(
+                        f"chunked static fill differs from fast on {name}"
+                    )
+                row = {
+                    "pattern": name,
+                    "n": work.n_cols,
+                    "nnz": work.nnz,
+                    "nnz_filled": fast_fill.nnz,
+                    "fast_s": fast_s,
+                    "chunked_s": chunked_s,
+                    "equal": True,
+                }
+                if name == "grid":
+                    par_s, par_fill = _timed_fill(
+                        work, "chunked", chunk=chunk, workers=n_workers
+                    )
+                    if not _patterns_equal(
+                        fast_fill.pattern, par_fill.pattern
+                    ):
+                        raise AssertionError(
+                            f"parallel chunked fill differs from fast on {name}"
+                        )
+                    row["chunked_par_s"] = par_s
+                    parallel = {
+                        "pattern": name,
+                        "n": work.n_cols,
+                        "serial_s": chunked_s,
+                        "parallel_s": par_s,
+                        "workers": n_workers,
+                        "ratio": chunked_s / par_s if par_s > 0 else 0.0,
+                    }
+                if measure_memory:
+                    fast_peak, _ = _traced_peak(
+                        static_symbolic_factorization, work, impl="fast"
+                    )
+                    gauge_tr = Tracer()
+                    chunked_peak, _ = _traced_peak(
+                        static_symbolic_factorization,
+                        work,
+                        impl="chunked",
+                        chunk=chunk,
+                        workers=1,
+                        tracer=gauge_tr,
+                    )
+                    gauge = gauge_tr.metrics.get("symbolic.peak_bytes")
+                    row["fast_peak_bytes"] = fast_peak
+                    row["chunked_peak_bytes"] = chunked_peak
+                    row["peak_ratio"] = (
+                        chunked_peak / fast_peak if fast_peak > 0 else 0.0
+                    )
+                    row["model_peak_bytes"] = (
+                        int(gauge.value) if gauge is not None else 0
+                    )
+                rows.append(row)
+    largest = max(rows, key=lambda r: r["n"])
+    data = {
+        "tier": tier,
+        "chunk": int(chunk) if chunk is not None else "auto",
+        "workers": n_workers,
+        "patterns": rows,
+        "largest": {
+            "pattern": largest["pattern"],
+            "n": largest["n"],
+            "peak_ratio": largest.get("peak_ratio"),
+        },
+        "parallel": parallel,
+        "max_peak_fraction": MAX_PEAK_FRACTION,
+        "min_parallel_ratio": MIN_PARALLEL_RATIO,
+        "cpu_count": cpus,
+        "ratio_enforced": cpus >= MULTICORE_MIN_CPUS,
+        "memory_measured": measure_memory,
+        "patterns_equal": True,
+    }
+    return data
+
+
+def large_summary_rows(data: dict) -> list:
+    """``(quantity, value)`` rows for the large-n terminal table."""
+    out = []
+    for row in data["patterns"]:
+        timing = (
+            f"fast {row['fast_s']:.2f} s / chunked {row['chunked_s']:.2f} s"
+        )
+        if "chunked_par_s" in row:
+            timing += f" / par {row['chunked_par_s']:.2f} s"
+        out.append((f"{row['pattern']} (n={row['n']})", timing))
+        if "peak_ratio" in row:
+            out.append(
+                (
+                    f"{row['pattern']} peak memory",
+                    f"fast {row['fast_peak_bytes'] / 1e6:.1f} MB / "
+                    f"chunked {row['chunked_peak_bytes'] / 1e6:.1f} MB = "
+                    f"{row['peak_ratio']:.3f}x",
+                )
+            )
+    largest = data["largest"]
+    if largest.get("peak_ratio") is not None:
+        out.append(
+            (
+                f"largest-size peak fraction ({largest['pattern']})",
+                f"{largest['peak_ratio']:.3f} "
+                f"(<= {data['max_peak_fraction']:g} required)",
+            )
+        )
+    par = data.get("parallel")
+    if par is not None:
+        bar = (
+            f">= {data['min_parallel_ratio']:g}x required"
+            if data["ratio_enforced"]
+            else f"bar waived: {data['cpu_count']} schedulable CPU(s)"
+        )
+        out.append(
+            (
+                f"parallel merge ratio ({par['pattern']}, "
+                f"{par['workers']} workers)",
+                f"{par['ratio']:.2f}x ({bar})",
+            )
+        )
     out.append(("implementations agree", str(data["patterns_equal"]).lower()))
     return out

@@ -1,30 +1,46 @@
-"""Reference/fast implementation selection for the symbolic kernels.
+"""Implementation selection for the symbolic kernels.
 
-The symbolic pipeline ships two bit-exact implementations of its three
+The symbolic pipeline ships three bit-exact implementations of its
 kernels (static fill, eforest parents, postorder):
 
 * ``"reference"`` — the original per-element Python data-structure code,
   kept as the readable oracle the property tests compare against;
 * ``"fast"`` — flat NumPy array kernels (sorted-array row merge with a
   union-find representative-row scheme, vectorized parent extraction,
-  iterative postorder) that cut the cold-path plan-build latency.
+  iterative postorder) that cut the cold-path plan-build latency;
+* ``"chunked"`` — the large-n production path: the same George-Ng merge
+  streamed over column chunks so peak working memory stays bounded by
+  the chunk output plus the merge frontier instead of the total fill,
+  with independent coletree subtrees merged in parallel
+  (:mod:`repro.symbolic.chunked`). Bit-exact with ``"fast"``, which in
+  turn is pinned against ``"reference"``. Only the static fill has a
+  dedicated chunked kernel; the eforest/postorder stages reuse the
+  ``"fast"`` array kernels under this name.
 
 Selection order: an explicit ``impl=`` argument wins, then the
 ``REPRO_SYMBOLIC`` environment variable, then the default (``"fast"``).
-Both paths produce identical :class:`~repro.symbolic.static_fill.StaticFill`
+All paths produce identical :class:`~repro.symbolic.static_fill.StaticFill`
 patterns, eforest parent arrays, and postorder permutations —
-``tests/symbolic/test_symbolic_impls.py`` pins the equality.
+``tests/symbolic/test_symbolic_impls.py`` and
+``tests/symbolic/test_chunked.py`` pin the equalities.
+
+Unknown names raise :class:`repro.util.errors.DispatchError` (a
+``ValueError`` subclass) naming the valid set and the source of the bad
+value, so a typo'd environment variable fails at resolution time instead
+of surfacing deep inside the pipeline.
 """
 
 from __future__ import annotations
 
 import os
 
+from repro.util.errors import DispatchError
+
 #: Environment variable consulted when no explicit ``impl`` is passed.
 ENV_VAR = "REPRO_SYMBOLIC"
 
 #: Recognized implementation names.
-IMPLEMENTATIONS = ("fast", "reference")
+IMPLEMENTATIONS = ("fast", "chunked", "reference")
 
 #: Used when neither the argument nor the environment selects one.
 DEFAULT_IMPL = "fast"
@@ -34,13 +50,15 @@ def resolve_impl(impl: str | None = None) -> str:
     """Resolve the symbolic implementation to use.
 
     ``impl`` (if not ``None``) overrides the ``REPRO_SYMBOLIC`` environment
-    variable, which overrides the default. Raises :class:`ValueError` on an
-    unrecognized name so typos fail loudly instead of silently falling back.
+    variable, which overrides the default. Raises
+    :class:`~repro.util.errors.DispatchError` on an unrecognized name so
+    typos fail loudly — and at resolution time — instead of silently
+    falling back or failing deep in dispatch.
     """
     choice = impl if impl is not None else os.environ.get(ENV_VAR) or DEFAULT_IMPL
     if choice not in IMPLEMENTATIONS:
         source = "impl argument" if impl is not None else f"${ENV_VAR}"
-        raise ValueError(
+        raise DispatchError(
             f"unknown symbolic implementation {choice!r} (from {source}); "
             f"expected one of {IMPLEMENTATIONS}"
         )

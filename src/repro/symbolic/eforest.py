@@ -30,9 +30,10 @@ def lu_elimination_forest(
 
     ``impl`` selects the vectorized ``"fast"`` kernel or the per-row
     ``"reference"`` oracle (default: ``$REPRO_SYMBOLIC``, then ``"fast"``);
-    both return identical parent arrays.
+    both return identical parent arrays. ``"chunked"`` has no dedicated
+    eforest kernel and routes to ``"fast"``.
     """
-    if resolve_impl(impl) == "fast":
+    if resolve_impl(impl) != "reference":
         return lu_elimination_forest_fast(fill)
     return lu_elimination_forest_reference(fill)
 

@@ -32,6 +32,17 @@ class SchedulingError(ReproError, ValueError):
     """A task graph or schedule is invalid (cyclic, unmapped task, ...)."""
 
 
+class DispatchError(ReproError, ValueError):
+    """An implementation selector named an unknown implementation.
+
+    Raised by the dispatch layers (``repro.symbolic.dispatch`` and friends)
+    when an explicit ``impl=`` argument or a selector environment variable
+    (``REPRO_SYMBOLIC``, ...) does not name a known implementation. The
+    message always lists the valid names and which source supplied the bad
+    one. Subclasses :class:`ValueError` so pre-existing ``except
+    ValueError`` call sites keep working."""
+
+
 class FormatError(ReproError, ValueError):
     """A matrix file is malformed or uses an unsupported format variant."""
 
