@@ -11,10 +11,21 @@ The subsystem has four layers:
   kind over (region, scalar-row) pairs.
 * :mod:`repro.analysis.races` — DAG-reachability race checking, liveness
   (deadlock) detection, and the Theorem-4 S*-vs-eforest minimality report.
+* :mod:`repro.analysis.modelcheck` — explicit-state model checking of the
+  fan-both message protocol (exhaustive interleavings with sleep-set
+  partial-order reduction) over bounded graph prefixes.
+* :mod:`repro.analysis.sanitizer` — opt-in (``REPRO_SANITIZE=1``) runtime
+  access sanitizer: dynamic reads/writes checked online against the
+  static footprints, with happens-before rebuilt from the protocol.
 
-:mod:`repro.analysis.runner` composes them into :func:`analyze_plan` /
-:func:`analyze_matrix` (the ``repro analyze --verify`` CLI) and the
-``REPRO_ANALYZE=1`` debug hooks. See ``docs/analysis.md``.
+:mod:`repro.analysis.runner` composes the static passes into
+:func:`analyze_plan` / :func:`analyze_matrix` (the ``repro analyze
+--verify`` CLI; ``--modelcheck``/``--sanitize`` add the other modes) and
+the ``REPRO_ANALYZE=1`` debug hooks. See ``docs/analysis.md``.
+
+The static passes never execute numerics; model checking explores an
+abstract transition system, and only the sanitizer factorizes for real —
+which is why it lives behind its own CLI flag and environment switch.
 """
 
 from repro.analysis.footprints import (
@@ -29,6 +40,14 @@ from repro.analysis.footprints import (
     solve_region_label,
     two_d_footprints,
 )
+from repro.analysis.modelcheck import (
+    MODELCHECK_KINDS,
+    ModelCheckResult,
+    ProtocolMutation,
+    bounded_prefix,
+    check_protocol,
+    modelcheck_plan,
+)
 from repro.analysis.races import (
     Reachability,
     check_liveness,
@@ -39,10 +58,19 @@ from repro.analysis.races import (
 from repro.analysis.report import (
     ANALYSIS_SCHEMA,
     ANALYSIS_SCHEMA_VERSION,
+    SUPPORTED_ANALYSIS_VERSIONS,
     AnalysisReport,
     Finding,
     SubjectReport,
     validate_analysis_document,
+)
+from repro.analysis.sanitizer import (
+    SANITIZER_KINDS,
+    AccessSanitizer,
+    build_sanitizer,
+    sanitize_enabled,
+    sanitize_matrix,
+    sanitizer_footprints,
 )
 from repro.analysis.runner import (
     ENV_VAR,
@@ -66,16 +94,29 @@ from repro.analysis.structure import (
 __all__ = [
     "ANALYSIS_SCHEMA",
     "ANALYSIS_SCHEMA_VERSION",
+    "AccessSanitizer",
     "AnalysisReport",
     "ENV_VAR",
     "Finding",
+    "MODELCHECK_KINDS",
+    "ModelCheckResult",
     "ORIG_AT_REGION",
+    "ProtocolMutation",
     "Reachability",
+    "SANITIZER_KINDS",
+    "SUPPORTED_ANALYSIS_VERSIONS",
     "SubjectReport",
     "TaskFootprint",
     "analysis_enabled",
     "analyze_matrix",
     "analyze_plan",
+    "bounded_prefix",
+    "build_sanitizer",
+    "check_protocol",
+    "modelcheck_plan",
+    "sanitize_enabled",
+    "sanitize_matrix",
+    "sanitizer_footprints",
     "check_btf",
     "check_csc",
     "check_forest",

@@ -1,0 +1,716 @@
+"""Explicit-state model checking of the fan-both message protocol.
+
+The multi-process engine (:mod:`repro.parallel.procengine`) runs one
+worker per rank with a worker-owned ready deque, per-task dependence
+counters seeded from task-graph indegrees, and completion messages
+batched into per-destination buffers that are flushed when
+``_FLUSH_EVERY`` messages accumulate, before a worker blocks on its
+inbox, and once more after its last owned task (termination by
+counting). This module models that runtime as an explicit-state
+transition system and exhaustively explores its interleavings on small
+(bounded) task graphs, so the protocol rules are machine-checked rather
+than argued in docstrings.
+
+Model
+-----
+One *rank* per worker. Rank-local state: the dependence counters of its
+owned tasks, its ready queue (FIFO, matching the deque's
+append/popleft discipline), the per-destination outgoing message
+buffers, and a done flag. Shared state: a FIFO inbox of message
+*batches* per rank (a flush of one destination pipe is atomic under
+``PIPE_BUF``, so a batch arrives as a unit) and the set of executed
+tasks. The actions:
+
+``exec(r)``
+    Pop the head of ``r``'s ready queue, execute it, decrement the
+    counters of its locally-owned successors (newly-ready tasks are
+    appended), buffer one completion message per remote interested
+    rank, and — atomically, as in the engine's main loop — flush every
+    buffer once the outstanding count reaches ``flush_every``.
+``flush(r)``
+    The flush-before-block rule: with no ready task, work remaining and
+    non-empty buffers, push every buffered batch to its destination
+    inbox. (The engine triggers this both from the ``not ready`` branch
+    after a task and immediately before blocking; the two collapse to
+    one action here.)
+``recv(r)``
+    Pop the *oldest* batch from ``r``'s inbox and absorb it: decrement
+    owned successors of each completed task. Enabled while blocked
+    (ready queue empty, buffers already flushed) and also while working
+    (the engine's opportunistic drain).
+``finish(r)``
+    With zero owned tasks remaining: final flush, then mark done.
+
+Checked properties (finding kinds):
+
+- ``modelcheck.deadlock`` — a state with no enabled action while some
+  rank still has work (a completion message was never sent).
+- ``modelcheck.lost_wakeup`` — the same, but undelivered messages sit
+  in some rank's outgoing buffers: a flush rule was skipped.
+- ``modelcheck.premature_read`` — a task executes before all its
+  predecessors (its panel reads would see stale data).
+- ``modelcheck.double_completion`` — a dependence counter driven below
+  zero, or a task executed twice.
+
+Partial-order reduction
+-----------------------
+Exploration uses sleep sets with a conditional (state-dependent)
+independence relation: two actions of different ranks commute unless
+they flush into the same inbox in the current state. Rank-local state
+is touched only by the owning rank's actions, inbox appends go to the
+tail while ``recv`` pops the head, and the executed set / counters only
+ever move monotonically, so this relation is a valid commutation in
+every state where both actions are enabled. Sleep sets prune redundant
+interleavings but still visit every reachable state, hence every
+deadlock; the transition-time checks (premature read, double
+completion) are monotone along the commuted paths, so a pruned
+transition can only re-confirm a violation already reported. When a
+:class:`ProtocolMutation` is seeded the reduction is switched off
+entirely — mutations (wrong counter, duplicated message) break the
+ownership argument above, and the mutation graphs are tiny — so every
+interleaving of a buggy protocol is explored verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.analysis.report import AnalysisReport, Finding
+from repro.taskgraph.dag import TaskGraph
+from repro.util.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.serve.plan import SymbolicPlan
+
+#: Finding kinds the model checker can emit.
+MODELCHECK_KINDS = (
+    "modelcheck.deadlock",
+    "modelcheck.lost_wakeup",
+    "modelcheck.premature_read",
+    "modelcheck.double_completion",
+)
+
+#: Seedable protocol-bug kinds (see :class:`ProtocolMutation`).
+MUTATION_KINDS = (
+    "drop_message",
+    "skip_flush",
+    "wrong_counter",
+    "wrong_owner",
+    "duplicate_message",
+)
+
+# Matches the engine's batching default but kept small enough that the
+# threshold-flush path is actually exercised on bounded graphs.
+DEFAULT_FLUSH_EVERY = 4
+
+_Action = tuple[str, int]
+_FindingDetail = tuple[str, tuple[Hashable, ...]]
+
+
+@dataclass(frozen=True)
+class ProtocolMutation:
+    """One seeded protocol bug, for mutation-testing the checker.
+
+    ``kind`` selects the bug; the remaining fields identify where it
+    strikes (unused fields stay ``None``):
+
+    - ``drop_message``: the completion message of ``task`` to rank
+      ``dest`` is never buffered.
+    - ``skip_flush``: rank ``rank`` never flushes before blocking
+      (threshold and final flushes still fire — the seeded bug is the
+      removal of the flush-before-block rule only).
+    - ``wrong_counter``: completions of ``task`` decrement the counter
+      of ``instead`` where they should decrement ``successor``.
+    - ``wrong_owner``: ``task`` is owned/executed by rank ``rank``
+      while message routing still targets the mapping's true owner —
+      an inconsistent ``owner_of`` (the 2-D grid-mapping bug class).
+    - ``duplicate_message``: the completion message of ``task`` to rank
+      ``dest`` is buffered twice.
+    """
+
+    kind: str
+    task: Hashable | None = None
+    rank: int | None = None
+    dest: int | None = None
+    successor: Hashable | None = None
+    instead: Hashable | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise ValueError(
+                f"unknown mutation kind {self.kind!r}; expected one of "
+                f"{MUTATION_KINDS}"
+            )
+
+
+@dataclass
+class ModelCheckResult:
+    """Findings plus exploration statistics of one model-checking run."""
+
+    findings: list[Finding]
+    stats: dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+# State layout (all components hashable):
+#   executed : int bitmask over task indices
+#   counters : tuple[int, ...] — remaining-predecessor count per task
+#   ready    : tuple[tuple[int, ...], ...] — FIFO per rank
+#   remaining: tuple[int, ...] — unexecuted owned tasks per rank
+#   pending  : tuple[tuple[tuple[int, ...], ...], ...] — out-buffers
+#              per (source rank, destination rank)
+#   inbox    : tuple[tuple[tuple[int, ...], ...], ...] — FIFO of
+#              batches per destination rank
+#   done     : int bitmask over ranks
+_State = tuple[
+    int,
+    tuple[int, ...],
+    tuple[tuple[int, ...], ...],
+    tuple[int, ...],
+    tuple[tuple[tuple[int, ...], ...], ...],
+    tuple[tuple[tuple[int, ...], ...], ...],
+    int,
+]
+
+
+class _ProtocolModel:
+    """The transition system of one (graph, mapping, n_ranks) instance."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        mapping: object,
+        n_ranks: int,
+        *,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+        mutation: ProtocolMutation | None = None,
+        por: bool = True,
+    ) -> None:
+        from repro.parallel.mapping import task_owner  # lazy: import cycle
+
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.tasks: list = sorted(graph.tasks())
+        index = {t: i for i, t in enumerate(self.tasks)}
+        n = len(self.tasks)
+        self.n_ranks = n_ranks
+        self.flush_every = flush_every
+        self.mutation = mutation
+        self.por = por
+        self.succ: list[tuple[int, ...]] = [
+            tuple(sorted(index[s] for s in graph.successors(t)))
+            for t in self.tasks
+        ]
+        self.pred_mask: list[int] = [0] * n
+        for i, t in enumerate(self.tasks):
+            for p in graph.predecessors(t):
+                self.pred_mask[i] |= 1 << index[p]
+        self.indeg: list[int] = [len(graph.predecessors(t)) for t in self.tasks]
+        # route_owner drives message routing (notify lists); exec_owner
+        # drives ownership, execution and the absorb filter. They agree
+        # unless a wrong_owner mutation makes owner_of inconsistent.
+        self.route_owner: list[int] = [
+            int(task_owner(mapping, t)) % n_ranks for t in self.tasks
+        ]
+        self.exec_owner = list(self.route_owner)
+        # Mutation plumbing, resolved to task indices.
+        self._dropped: set[tuple[int, int]] = set()
+        self._duplicated: set[tuple[int, int]] = set()
+        self._skip_flush_rank: int | None = None
+        self._redirect: dict[tuple[int, int], int] = {}
+        if mutation is not None:
+            self._seed_mutation(mutation, index)
+        self.notify: list[tuple[int, ...]] = [
+            tuple(
+                sorted(
+                    {self.route_owner[s] for s in self.succ[i]}
+                    - {self.exec_owner[i]}
+                )
+            )
+            for i in range(n)
+        ]
+        self.own: list[list[int]] = [[] for _ in range(n_ranks)]
+        for i in range(n):
+            self.own[self.exec_owner[i]].append(i)
+
+    def _seed_mutation(
+        self, mutation: ProtocolMutation, index: dict
+    ) -> None:
+        kind = mutation.kind
+
+        def _idx(task: Hashable | None, what: str) -> int:
+            if task is None or task not in index:
+                raise ValueError(
+                    f"mutation {kind!r} needs {what} naming a graph task, "
+                    f"got {task!r}"
+                )
+            return index[task]
+
+        if kind == "drop_message":
+            if mutation.dest is None:
+                raise ValueError("drop_message needs dest=<rank>")
+            self._dropped.add((_idx(mutation.task, "task"), mutation.dest))
+        elif kind == "duplicate_message":
+            if mutation.dest is None:
+                raise ValueError("duplicate_message needs dest=<rank>")
+            self._duplicated.add((_idx(mutation.task, "task"), mutation.dest))
+        elif kind == "skip_flush":
+            if mutation.rank is None:
+                raise ValueError("skip_flush needs rank=<rank>")
+            self._skip_flush_rank = mutation.rank
+        elif kind == "wrong_counter":
+            src = _idx(mutation.task, "task")
+            true_succ = _idx(mutation.successor, "successor")
+            wrong = _idx(mutation.instead, "instead")
+            if true_succ not in self.succ[src]:
+                raise ValueError(
+                    f"{mutation.successor!r} is not a successor of "
+                    f"{mutation.task!r}"
+                )
+            self._redirect[(src, true_succ)] = wrong
+        elif kind == "wrong_owner":
+            if mutation.rank is None:
+                raise ValueError("wrong_owner needs rank=<rank>")
+            self.exec_owner[_idx(mutation.task, "task")] = (
+                mutation.rank % self.n_ranks
+            )
+
+    # -- state construction -------------------------------------------------
+
+    def initial_state(self) -> _State:
+        n_ranks = self.n_ranks
+        ready = tuple(
+            tuple(i for i in self.own[r] if self.indeg[i] == 0)
+            for r in range(n_ranks)
+        )
+        empty_bufs = tuple(
+            tuple(() for _ in range(n_ranks)) for _ in range(n_ranks)
+        )
+        return (
+            0,
+            tuple(self.indeg),
+            ready,
+            tuple(len(self.own[r]) for r in range(n_ranks)),
+            empty_bufs,
+            tuple(() for _ in range(n_ranks)),
+            0,
+        )
+
+    # -- transition relation ------------------------------------------------
+
+    def enabled(self, state: _State) -> list[_Action]:
+        _executed, _counters, ready, remaining, pending, inbox, done = state
+        out: list[_Action] = []
+        for r in range(self.n_ranks):
+            if done & (1 << r):
+                continue
+            has_pending = any(pending[r][d] for d in range(self.n_ranks))
+            skip = self._skip_flush_rank == r
+            if ready[r]:
+                out.append(("exec", r))
+            if (
+                not ready[r]
+                and remaining[r] > 0
+                and has_pending
+                and not skip
+            ):
+                out.append(("flush", r))
+            if inbox[r] and (ready[r] or not has_pending or skip):
+                # Blocked receive needs the flush-before-block first;
+                # with tasks still ready this is the opportunistic drain.
+                out.append(("recv", r))
+            if remaining[r] == 0:
+                out.append(("finish", r))
+        return out
+
+    def apply(
+        self, state: _State, action: _Action
+    ) -> tuple[_State, list[_FindingDetail]]:
+        kind, r = action
+        executed, counters, ready, remaining, pending, inbox, done = state
+        violations: list[_FindingDetail] = []
+        cnt = list(counters)
+        rdy = [list(q) for q in ready]
+        rem = list(remaining)
+        pend = [[list(b) for b in row] for row in pending]
+        boxes = [list(b) for b in inbox]
+
+        def absorb_one(completed: int) -> None:
+            """Decrement ``r``-owned successors of one completed task."""
+            for s in self.succ[completed]:
+                if self.exec_owner[s] != r:
+                    continue
+                tgt = self._redirect.get((completed, s), s)
+                cnt[tgt] -= 1
+                if cnt[tgt] < 0:
+                    violations.append(
+                        (
+                            "modelcheck.double_completion",
+                            ("counter", tgt, completed),
+                        )
+                    )
+                elif cnt[tgt] == 0:
+                    rdy[r].append(tgt)
+
+        def flush_all() -> None:
+            for d in range(self.n_ranks):
+                if pend[r][d]:
+                    boxes[d].append(tuple(pend[r][d]))
+                    pend[r][d] = []
+
+        if kind == "exec":
+            i = rdy[r].pop(0)
+            if executed & (1 << i):
+                violations.append(
+                    ("modelcheck.double_completion", ("re-executed", i))
+                )
+            missing = self.pred_mask[i] & ~executed
+            if missing:
+                violations.append(("modelcheck.premature_read", ("task", i)))
+            executed |= 1 << i
+            rem[r] -= 1
+            absorb_one(i)
+            for d in self.notify[i]:
+                if (i, d) in self._dropped:
+                    continue
+                pend[r][d].append(i)
+                if (i, d) in self._duplicated:
+                    pend[r][d].append(i)
+            if sum(len(b) for b in pend[r]) >= self.flush_every:
+                flush_all()
+        elif kind == "flush":
+            flush_all()
+        elif kind == "recv":
+            batch = boxes[r].pop(0)
+            for m in batch:
+                absorb_one(m)
+        elif kind == "finish":
+            flush_all()
+            done |= 1 << r
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown action {action!r}")
+
+        new_state: _State = (
+            executed,
+            tuple(cnt),
+            tuple(tuple(q) for q in rdy),
+            tuple(rem),
+            tuple(tuple(tuple(b) for b in row) for row in pend),
+            tuple(tuple(b) for b in boxes),
+            done,
+        )
+        return new_state, violations
+
+    # -- partial-order reduction --------------------------------------------
+
+    def _flush_dests(self, state: _State, action: _Action) -> frozenset[int]:
+        """Inboxes ``action`` appends to when taken from ``state``."""
+        kind, r = action
+        _executed, _counters, ready, _remaining, pending, _inbox, _done = state
+        if kind == "recv":
+            return frozenset()
+        if kind in ("flush", "finish"):
+            return frozenset(
+                d for d in range(self.n_ranks) if pending[r][d]
+            )
+        # exec: flushes only when the batching threshold is reached.
+        i = ready[r][0]
+        counts = [len(pending[r][d]) for d in range(self.n_ranks)]
+        for d in self.notify[i]:
+            if (i, d) in self._dropped:
+                continue
+            counts[d] += 2 if (i, d) in self._duplicated else 1
+        if sum(counts) < self.flush_every:
+            return frozenset()
+        return frozenset(d for d in range(self.n_ranks) if counts[d])
+
+    def independent(
+        self, a: _Action, b: _Action, state: _State
+    ) -> bool:
+        if self.mutation is not None or not self.por:
+            # Mutations (counter redirects, duplicated messages) break
+            # the rank-locality argument; explore the full interleaving
+            # set of buggy protocols. ``por=False`` forces the same full
+            # exploration on clean protocols (cross-validation in tests).
+            return False
+        if a[1] == b[1]:
+            return False
+        return not (
+            self._flush_dests(state, a) & self._flush_dests(state, b)
+        )
+
+    # -- exploration --------------------------------------------------------
+
+    def explore(self, *, max_states: int = 1_000_000) -> ModelCheckResult:
+        all_done = (1 << self.n_ranks) - 1
+        init = self.initial_state()
+        # state -> sleep sets it was explored with; a revisit is
+        # redundant iff some stored sleep set is contained in the
+        # current one (everything the revisit would explore was already
+        # explored from here).
+        visited: dict[_State, list[frozenset[_Action]]] = {}
+        found: dict[_FindingDetail, Finding] = {}
+        n_states = 0
+        n_transitions = 0
+        n_deadlocks = 0
+
+        def record(key: _FindingDetail, message: str, detail: dict) -> None:
+            if key not in found and len(found) < 50:
+                found[key] = Finding(
+                    check=key[0], message=message, detail=detail
+                )
+
+        def record_violations(viols: list[_FindingDetail]) -> None:
+            for kind, key in viols:
+                if kind == "modelcheck.premature_read":
+                    i = key[1]
+                    record(
+                        (kind, key),
+                        f"task {self.tasks[i]} can execute before its "
+                        "predecessors complete",
+                        {"task": str(self.tasks[i])},
+                    )
+                else:
+                    i = key[1]
+                    record(
+                        (kind, key),
+                        f"dependence counter of task {self.tasks[i]} "
+                        "driven below zero (or task executed twice)",
+                        {"task": str(self.tasks[i])},
+                    )
+
+        stack: list[tuple[_State, frozenset[_Action]]] = [(init, frozenset())]
+        while stack:
+            state, sleep = stack.pop()
+            stored = visited.get(state)
+            if stored is not None:
+                if any(t <= sleep for t in stored):
+                    continue
+                stored[:] = [t for t in stored if not (sleep <= t)]
+                stored.append(sleep)
+            else:
+                visited[state] = [sleep]
+                n_states += 1
+                if n_states > max_states:
+                    raise AnalysisError(
+                        f"model checker exceeded {max_states} states "
+                        f"({len(self.tasks)} tasks, {self.n_ranks} ranks); "
+                        "lower max_tasks or raise max_states"
+                    )
+            actions = self.enabled(state)
+            if not actions:
+                if state[6] != all_done:
+                    n_deadlocks += 1
+                    self._record_deadlock(state, record)
+                continue
+            explored_here: list[_Action] = []
+            for a in actions:
+                if a in sleep:
+                    continue
+                child_sleep = frozenset(
+                    b
+                    for b in set(sleep) | set(explored_here)
+                    if self.independent(a, b, state)
+                )
+                new_state, viols = self.apply(state, a)
+                n_transitions += 1
+                record_violations(viols)
+                stack.append((new_state, child_sleep))
+                explored_here.append(a)
+
+        return ModelCheckResult(
+            findings=list(found.values()),
+            stats={
+                "n_states": n_states,
+                "n_transitions": n_transitions,
+                "n_deadlock_states": n_deadlocks,
+                "n_tasks": len(self.tasks),
+                "n_ranks": self.n_ranks,
+                "flush_every": self.flush_every,
+            },
+        )
+
+    def _record_deadlock(
+        self,
+        state: _State,
+        record: Callable[[_FindingDetail, str, dict], None],
+    ) -> None:
+        executed, _counters, _ready, remaining, pending, _inbox, done = state
+        stuck = [
+            r
+            for r in range(self.n_ranks)
+            if not (done & (1 << r)) and remaining[r] > 0
+        ]
+        buffered = sorted(
+            {
+                self.tasks[m]
+                for r in range(self.n_ranks)
+                for d in range(self.n_ranks)
+                for m in pending[r][d]
+            }
+        )
+        waiting = [
+            str(self.tasks[i])
+            for i in range(len(self.tasks))
+            if not (executed & (1 << i))
+        ]
+        if buffered:
+            record(
+                ("modelcheck.lost_wakeup", (tuple(stuck), tuple(waiting))),
+                f"ranks {stuck} block forever while completion messages "
+                f"for {[str(t) for t in buffered]} sit unflushed",
+                {
+                    "ranks": stuck,
+                    "unflushed": [str(t) for t in buffered],
+                    "unexecuted": waiting,
+                },
+            )
+        else:
+            record(
+                ("modelcheck.deadlock", (tuple(stuck), tuple(waiting))),
+                f"ranks {stuck} block forever with tasks "
+                f"{waiting} never executed",
+                {"ranks": stuck, "unexecuted": waiting},
+            )
+
+
+def check_protocol(
+    graph: TaskGraph,
+    mapping: object,
+    n_ranks: int,
+    *,
+    flush_every: int = DEFAULT_FLUSH_EVERY,
+    mutation: ProtocolMutation | None = None,
+    max_states: int = 1_000_000,
+    por: bool = True,
+) -> ModelCheckResult:
+    """Exhaustively model-check the fan-both protocol on ``graph``.
+
+    ``mapping`` is anything :func:`repro.parallel.mapping.task_owner`
+    accepts — a 1-D owner array or a :class:`~repro.parallel.mapping.
+    GridMapping`. Exploration covers *every* interleaving of the
+    modelled runtime (modulo a sound partial-order reduction, disabled
+    when a ``mutation`` is seeded or ``por=False``); the state count is
+    exponential in graph size, so bound the graph first
+    (:func:`bounded_prefix`).
+    """
+    model = _ProtocolModel(
+        graph,
+        mapping,
+        n_ranks,
+        flush_every=flush_every,
+        mutation=mutation,
+        por=por,
+    )
+    return model.explore(max_states=max_states)
+
+
+def bounded_prefix(graph: TaskGraph, max_tasks: int) -> TaskGraph:
+    """The induced subgraph on the first ``max_tasks`` tasks in
+    (deterministic) topological order — a down-closed prefix, so every
+    kept task keeps its full predecessor set and the protocol semantics
+    of the prefix match the full run restricted to those tasks."""
+    if graph.n_tasks <= max_tasks:
+        return graph
+    order = graph.topological_order(tie_break=lambda t: t)[:max_tasks]
+    keep = set(order)
+    out = TaskGraph()
+    for t in order:
+        out.add_task(t)
+    for src, dst in graph.edges():
+        if src in keep and dst in keep:
+            out.add_edge(src, dst)
+    return out
+
+
+def modelcheck_plan(
+    plan: "SymbolicPlan",
+    *,
+    name: str = "plan",
+    n_ranks: int = 2,
+    max_tasks_1d: int = 14,
+    max_tasks_2d: int = 12,
+    flush_every: int = DEFAULT_FLUSH_EVERY,
+    max_states: int = 1_000_000,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> AnalysisReport:
+    """Model-check the fan-both protocol for one symbolic plan.
+
+    Two subjects: ``{name}/protocol-1d`` covers the 1-D task graph under
+    the engine's default blocked mapping plus the cyclic mapping;
+    ``{name}/protocol-2d`` covers the 2-D graph under a
+    :class:`~repro.parallel.mapping.GridMapping`. Both run on bounded
+    topological prefixes of the graphs (see :func:`bounded_prefix`) —
+    exhaustive exploration is exponential in task count.
+    """
+    from repro.obs.trace import Tracer as _Tracer  # lazy: keep import light
+    from repro.parallel.mapping import (  # lazy: import cycle
+        GridMapping,
+        blocked_mapping,
+        cyclic_mapping,
+    )
+    from repro.parallel.two_d import build_2d_graph  # lazy: import cycle
+
+    tr = tracer if tracer is not None else _Tracer(enabled=False)
+    report = AnalysisReport(modes=["modelcheck"])
+    n_blocks = plan.bp.n_blocks
+
+    with tr.span("analysis.modelcheck", subject=name) as span:
+        one_d = report.subject(f"{name}/protocol-1d")
+        g1 = bounded_prefix(plan.graph, max_tasks_1d)
+        total_states = 0
+        total_transitions = 0
+        for label, mapping in (
+            ("blocked", blocked_mapping(n_blocks, n_ranks)),
+            ("cyclic", cyclic_mapping(n_blocks, n_ranks)),
+        ):
+            res = check_protocol(
+                g1,
+                mapping,
+                n_ranks,
+                flush_every=flush_every,
+                max_states=max_states,
+            )
+            one_d.extend(res.findings)
+            one_d.stats[f"n_states_{label}"] = res.stats["n_states"]
+            total_states += res.stats["n_states"]
+            total_transitions += res.stats["n_transitions"]
+        one_d.stats["n_tasks"] = g1.n_tasks
+        one_d.stats["n_ranks"] = n_ranks
+
+        two_d = report.subject(f"{name}/protocol-2d")
+        grid = GridMapping.for_workers(n_ranks)
+        g2 = bounded_prefix(build_2d_graph(plan.bp), max_tasks_2d)
+        res = check_protocol(
+            g2,
+            grid,
+            grid.n_procs,
+            flush_every=flush_every,
+            max_states=max_states,
+        )
+        two_d.extend(res.findings)
+        two_d.stats["n_states_grid"] = res.stats["n_states"]
+        two_d.stats["n_tasks"] = g2.n_tasks
+        two_d.stats["grid_pr"] = grid.pr
+        two_d.stats["grid_pc"] = grid.pc
+        total_states += res.stats["n_states"]
+        total_transitions += res.stats["n_transitions"]
+
+        span.set(
+            n_states=total_states,
+            n_transitions=total_transitions,
+            ok=report.ok,
+        )
+    if metrics is not None:
+        metrics.counter("modelcheck.states").inc(total_states)
+        metrics.counter("modelcheck.transitions").inc(total_transitions)
+    return report

@@ -8,12 +8,14 @@ the check name, a human-readable message, and enough structured detail
 statistics) travel in :attr:`AnalysisReport.stats`, never as findings, so
 "no findings" is exactly the CI gate condition.
 
-Document layout (``repro.analysis`` version 1)::
+Document layout (``repro.analysis`` version 2)::
 
     {
       "schema": "repro.analysis",
-      "schema_version": 1,
+      "schema_version": 2,
       "ok": bool,                      # no findings anywhere
+      "modes": [str, ...],             # v2: analysis passes that ran, e.g.
+                                       # ["static"], ["modelcheck", "sanitize"]
       "meta": {<free-form scalars: matrix, scale, options, ...>},
       "subjects": [
         {"name": str,                  # e.g. "sherman3" or "eforest-graph"
@@ -29,11 +31,20 @@ Document layout (``repro.analysis`` version 1)::
       ]
     }
 
+Version 1 is identical minus the ``modes`` list;
+:func:`validate_analysis_document` accepts both (dispatching on
+``schema_version``) and *raises* :class:`~repro.util.errors.
+SchemaVersionError` for any version outside
+:data:`SUPPORTED_ANALYSIS_VERSIONS` — an unknown version means the layout
+rules below do not apply, so a stale validator must fail loudly rather
+than return a misleading pass/fail.
+
 The schema is validated by the hand-rolled structural checker
 :func:`validate_analysis_document`, exactly like
 :func:`repro.obs.export.validate_bench_document` — no external jsonschema
 dependency. Any layout change MUST bump :data:`ANALYSIS_SCHEMA_VERSION`
-here and in ``docs/analysis.md``.
+here and in ``docs/analysis.md`` (migration notes live in
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -42,9 +53,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro.util.errors import SchemaVersionError
+
 #: Name + version stamped into every analysis document.
 ANALYSIS_SCHEMA = "repro.analysis"
-ANALYSIS_SCHEMA_VERSION = 1
+ANALYSIS_SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_analysis_document` knows how to check.
+SUPPORTED_ANALYSIS_VERSIONS = (1, 2)
 
 Scalar = Union[str, int, float, bool, None]
 
@@ -123,10 +139,17 @@ class SubjectReport:
 
 @dataclass
 class AnalysisReport:
-    """Aggregated result of one analyzer run (one or more subjects)."""
+    """Aggregated result of one analyzer run (one or more subjects).
+
+    ``modes`` names the analysis passes that produced the subjects
+    (``"static"`` for the structural/race/liveness sweep,
+    ``"modelcheck"`` for protocol model checking, ``"sanitize"`` for the
+    runtime access sanitizer) — new in schema version 2.
+    """
 
     subjects: list[SubjectReport] = field(default_factory=list)
     meta: dict[str, Scalar] = field(default_factory=dict)
+    modes: list[str] = field(default_factory=lambda: ["static"])
 
     @property
     def ok(self) -> bool:
@@ -149,14 +172,32 @@ class AnalysisReport:
         self.subjects.append(s)
         return s
 
-    def as_dict(self) -> dict[str, object]:
-        return {
+    def merge(self, other: "AnalysisReport") -> None:
+        """Fold ``other``'s subjects, meta and modes into this report."""
+        self.subjects.extend(other.subjects)
+        self.meta.update(other.meta)
+        for mode in other.modes:
+            if mode not in self.modes:
+                self.modes.append(mode)
+
+    def as_dict(
+        self, version: int = ANALYSIS_SCHEMA_VERSION
+    ) -> dict[str, object]:
+        if version not in SUPPORTED_ANALYSIS_VERSIONS:
+            raise SchemaVersionError(
+                f"cannot emit repro.analysis version {version}; supported: "
+                f"{SUPPORTED_ANALYSIS_VERSIONS}"
+            )
+        doc: dict[str, object] = {
             "schema": ANALYSIS_SCHEMA,
-            "schema_version": ANALYSIS_SCHEMA_VERSION,
+            "schema_version": version,
             "ok": self.ok,
             "meta": dict(self.meta),
             "subjects": [s.as_dict() for s in self.subjects],
         }
+        if version >= 2:
+            doc["modes"] = list(self.modes)
+        return doc
 
     def render(self) -> str:
         """Human-readable multi-line summary (the non-JSON CLI output)."""
@@ -235,9 +276,19 @@ def _check_subject(obj: object, path: str, errors: list[str]) -> bool:
 def validate_analysis_document(doc: object) -> list[str]:
     """Structurally validate an analysis document; returns error strings.
 
-    An empty list means the document conforms to ``repro.analysis``
-    version :data:`ANALYSIS_SCHEMA_VERSION` and is JSON-serializable, with
+    An empty list means the document conforms to its declared
+    ``repro.analysis`` version (one of
+    :data:`SUPPORTED_ANALYSIS_VERSIONS`) and is JSON-serializable, with
     ``ok`` consistent with the presence of findings.
+
+    Raises
+    ------
+    SchemaVersionError
+        When ``schema_version`` is a well-formed integer but names a
+        version this validator does not know. Returning an error string
+        would let stale validators "fail" newer documents for the wrong
+        reason — or, worse, a future lenient caller pass them unchecked —
+        so an unknown version is a typed, loud failure instead.
     """
     errors: list[str] = []
     if not isinstance(doc, dict):
@@ -247,12 +298,22 @@ def validate_analysis_document(doc: object) -> list[str]:
     version = doc.get("schema_version")
     if not isinstance(version, int) or isinstance(version, bool) or version < 1:
         _err(errors, "$.schema_version", f"expected positive int, got {version!r}")
-    elif version > ANALYSIS_SCHEMA_VERSION:
-        _err(
-            errors,
-            "$.schema_version",
-            f"version {version} is newer than {ANALYSIS_SCHEMA_VERSION}",
+        version = None
+    elif version not in SUPPORTED_ANALYSIS_VERSIONS:
+        raise SchemaVersionError(
+            f"$.schema_version: unknown repro.analysis version {version}; "
+            f"this validator supports {SUPPORTED_ANALYSIS_VERSIONS}"
         )
+    if version is not None and version >= 2:
+        modes = doc.get("modes")
+        if not isinstance(modes, list) or not modes or any(
+            not isinstance(m, str) or not m for m in modes
+        ):
+            _err(
+                errors,
+                "$.modes",
+                "version >= 2 requires a non-empty list of mode strings",
+            )
     if not isinstance(doc.get("ok"), bool):
         _err(errors, "$.ok", "must be a boolean")
     _check_scalar_map(doc.get("meta"), "$.meta", errors)

@@ -146,29 +146,52 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze_verify(args: argparse.Namespace) -> int:
-    """``repro analyze --verify``: static race/deadlock/invariant analysis.
+    """``repro analyze --verify/--modelcheck/--sanitize``: analysis modes.
 
-    ``matrix`` may be ``all`` to sweep every Table-1 analog (the CI gate).
-    Exits nonzero on any finding.
+    ``--verify`` runs the static race/deadlock/invariant analysis,
+    ``--modelcheck`` exhaustively explores the fan-both message protocol
+    on bounded graph prefixes (1-D and 2-D mappings), and ``--sanitize``
+    executes one sanitized factorization under the resolved engine.
+    Modes compose into one schema-v2 document whose ``modes`` list names
+    the passes that ran; with none of the mode flags (bare ``--json``)
+    the static pass runs alone. ``matrix`` may be ``all`` to sweep every
+    Table-1 analog (the CI gate). Exits nonzero on any finding.
     """
-    import json
-
     from repro.analysis import (
         AnalysisReport,
         analyze_matrix,
         validate_analysis_document,
     )
+    from repro.analysis.runner import suppress_hooks
     from repro.obs.export import write_json
 
+    run_static = args.verify or not (args.modelcheck or args.sanitize)
     names = sorted(PAPER_MATRICES) if args.matrix == "all" else [args.matrix]
     combined = AnalysisReport(
-        meta={"subject": args.matrix, "scale": args.scale}
+        meta={"subject": args.matrix, "scale": args.scale}, modes=[]
     )
     for nm in names:
         a = _load_matrix(nm, args.scale)
-        report = analyze_matrix(a, _solver_options(args, a), name=nm)
-        combined.subjects.extend(report.subjects)
-        print(report.render())
+        opts = _solver_options(args, a)
+        if run_static:
+            report = analyze_matrix(a, opts, name=nm)
+            combined.merge(report)
+            print(report.render())
+        if args.modelcheck:
+            from repro.analysis.modelcheck import modelcheck_plan
+            from repro.serve.plan import build_plan
+
+            with suppress_hooks():
+                plan = build_plan(a, opts)
+            report = modelcheck_plan(plan, name=nm)
+            combined.merge(report)
+            print(report.render())
+        if args.sanitize:
+            from repro.analysis.sanitizer import sanitize_matrix
+
+            report = sanitize_matrix(a, opts, name=nm)
+            combined.merge(report)
+            print(report.render())
     doc = combined.as_dict()
     errors = validate_analysis_document(doc)
     if errors:  # defensive: analyze_* should always emit valid documents
@@ -180,7 +203,7 @@ def _cmd_analyze_verify(args: argparse.Namespace) -> int:
         print(f"analysis report written to {args.json}")
     if not combined.ok:
         print(
-            f"FAIL: static analysis found {combined.n_findings} problem(s)",
+            f"FAIL: analysis found {combined.n_findings} problem(s)",
             file=sys.stderr,
         )
         return 1
@@ -190,7 +213,7 @@ def _cmd_analyze_verify(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.sparse.stats import matrix_stats
 
-    if args.verify or args.json:
+    if args.verify or args.modelcheck or args.sanitize or args.json:
         return _cmd_analyze_verify(args)
     a = _load_matrix(args.matrix, args.scale)
     ms = matrix_stats(a)
@@ -697,6 +720,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="static race/deadlock/invariant analysis; matrix may be 'all'",
+    )
+    p.add_argument(
+        "--modelcheck",
+        action="store_true",
+        help="exhaustively model-check the fan-both message protocol on "
+        "bounded graph prefixes (1-D and 2-D mappings)",
+    )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run one sanitized factorization (engine from $REPRO_ENGINE) "
+        "checking every access against the static footprints",
     )
     p.add_argument(
         "--json", metavar="PATH", help="write the repro.analysis JSON report"

@@ -46,6 +46,7 @@ from repro.taskgraph.tasks import Task, enumerate_tasks
 from repro.util.errors import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (supersolve)
+    from repro.analysis.sanitizer import AccessSanitizer
     from repro.numeric.supersolve import BlockFactors
 
 
@@ -238,6 +239,11 @@ class LUFactorization:
         # ``is None`` branch per task. Under the threaded executor the
         # updates race benignly, exactly like ``lazy_stats``.
         self.metrics = metrics
+        # Optional repro.analysis.sanitizer.AccessSanitizer, attached by
+        # run_engine: kernels record the scalar rows they actually touch
+        # for online containment in the static footprints. Disabled cost
+        # is one ``is None`` test per site — the ``metrics`` discipline.
+        self.sanitizer: "AccessSanitizer | None" = None
 
     # ------------------------------------------------------------------
     # Task execution
@@ -245,6 +251,9 @@ class LUFactorization:
     def run_task(self, task: Task) -> None:
         if task in self.done:
             raise SchedulingError(f"task {task} executed twice")
+        san = self.sanitizer
+        if san is not None:
+            san.begin(task)
         if task.kind == "F":
             self._factor(task.k)
         elif task.kind == "U":
@@ -257,6 +266,8 @@ class LUFactorization:
             self._block_update(task.k, task.i, task.j)
         else:  # pragma: no cover - task constructors prevent this
             raise SchedulingError(f"unknown task kind {task.kind!r}")
+        if san is not None:
+            san.end(task)
         self.done.add(task)
 
     def run_order(self, order: Iterable[Task]) -> None:
@@ -282,6 +293,16 @@ class LUFactorization:
         if np.any(changed):
             moved = self.orig_at[pivoted[changed]].copy()
             self.orig_at[subs[changed]] = moved
+        if self.sanitizer is not None:
+            from repro.analysis.footprints import ORIG_AT_REGION
+            from repro.analysis.sanitizer import pivot_region
+
+            self.sanitizer.record_read(k, subs)
+            self.sanitizer.record_write(k, subs)
+            self.sanitizer.record_write(pivot_region(k), subs)
+            if np.any(changed):
+                self.sanitizer.record_read(ORIG_AT_REGION, pivoted[changed])
+                self.sanitizer.record_write(ORIG_AT_REGION, subs[changed])
         if self.metrics is not None:
             self.metrics.counter("kernel.factor.calls", unit="calls").inc()
             self.metrics.counter("kernel.factor.flops", unit="flops").inc(
@@ -328,6 +349,14 @@ class LUFactorization:
             raise SchedulingError(
                 f"U({k},{j}) ran on a process that does not own column {j}"
             )
+        san = self.sanitizer
+        if san is not None:
+            from repro.analysis.sanitizer import pivot_region
+
+            # ``subs``/``pivoted`` are the published pivot data of block
+            # k — local bookkeeping or the shared arena slot alike.
+            san.record_read(pivot_region(k), subs)
+            san.record_read(k, subs)
 
         # 1. Apply F(k)'s row renaming to column j (gather, then scatter —
         #    safe under permutation cycles). Ids absent from column j carry
@@ -343,6 +372,9 @@ class LUFactorization:
                 vals[old_present] = panel_j[old_pos[old_present]]
             if np.any(new_present):
                 panel_j[new_pos[new_present]] = vals[new_present]
+            if san is not None:
+                san.record_read(j, old_ids[old_present])
+                san.record_write(j, new_ids[new_present])
             if self.metrics is not None:
                 self.metrics.counter("pivot.renames_applied", unit="rows").inc(
                     int(old_ids.size)
@@ -361,6 +393,8 @@ class LUFactorization:
             )
         off = int(pos[0])
         w_j = panel_j.shape[1]
+        if san is not None:
+            san.record_read(j, subs[:w])
         if not panel_j[off : off + w, :].any():
             self.lazy_stats.skip_update(w, int(subs.size) - w, w_j)
             if self.metrics is not None:
@@ -368,6 +402,8 @@ class LUFactorization:
             return
         u_kj = solve_unit_lower(m[:w, :w], panel_j[off : off + w, :])
         panel_j[off : off + w, :] = u_kj
+        if san is not None:
+            san.record_write(j, subs[:w])
         if self.metrics is not None:
             self.metrics.counter("kernel.trsm.calls", unit="calls").inc()
             self.metrics.counter("kernel.trsm.flops", unit="flops").inc(
@@ -392,6 +428,10 @@ class LUFactorization:
                 bpos, bpresent = self.data.positions(j, below_ids[active])
                 if np.any(bpresent):
                     panel_j[bpos[bpresent], :] -= l_below[active][bpresent] @ u_kj
+                    if san is not None:
+                        gemm_rows = below_ids[active][bpresent]
+                        san.record_read(j, gemm_rows)
+                        san.record_write(j, gemm_rows)
                 if self.metrics is not None:
                     self.metrics.counter("kernel.gemm.calls", unit="calls").inc()
                     self.metrics.counter("kernel.gemm.flops", unit="flops").inc(
@@ -427,6 +467,8 @@ class LUFactorization:
             raise SchedulingError(f"SL({k},{i}) ran before F({k})")
         lo, hi = self._block_slice(k, i)
         block = self.data.sub_panel(k)[lo:hi, :]
+        if self.sanitizer is not None:
+            self.sanitizer.record_read(k, self.data.sub_rows(k)[lo:hi])
         self._lower_active[(k, i)] = np.any(block != 0.0, axis=1)
 
     def _scale_upper(
@@ -461,6 +503,12 @@ class LUFactorization:
             raise SchedulingError(
                 f"SU({k},{j}) ran on a process that does not own column {j}"
             )
+        san = self.sanitizer
+        if san is not None:
+            from repro.analysis.sanitizer import pivot_region
+
+            san.record_read(pivot_region(k), subs)
+            san.record_read(k, subs[:w])
         changed = pivoted != subs
         if np.any(changed):
             old_ids = pivoted[changed]
@@ -472,12 +520,17 @@ class LUFactorization:
                 vals[old_present] = panel_j[old_pos[old_present]]
             if np.any(new_present):
                 panel_j[new_pos[new_present]] = vals[new_present]
+            if san is not None:
+                san.record_read(j, old_ids[old_present])
+                san.record_write(j, new_ids[new_present])
             if self.metrics is not None:
                 self.metrics.counter("pivot.renames_applied", unit="rows").inc(
                     int(old_ids.size)
                 )
         off = self._upper_block_offset(k, j, panel_j)
         w_j = panel_j.shape[1]
+        if san is not None:
+            san.record_read(j, subs[:w])
         if not panel_j[off : off + w, :].any():
             # LazyS+: the whole update (k → j) is structurally dead; the
             # UP(k, ·, j) tasks see the still-zero U block and return, so
@@ -488,6 +541,8 @@ class LUFactorization:
             return
         u_kj = solve_unit_lower(m[:w, :w], panel_j[off : off + w, :])
         panel_j[off : off + w, :] = u_kj
+        if san is not None:
+            san.record_write(j, subs[:w])
         self.lazy_stats.n_updates_run += 1
         self.lazy_stats.flops_spent += trsm_flops(w, w_j)
         if self.metrics is not None:
@@ -517,9 +572,14 @@ class LUFactorization:
             )
         off = self._upper_block_offset(k, j, panel_j)
         u_kj = panel_j[off : off + w, :]
+        san = self.sanitizer
+        if san is not None:
+            san.record_read(j, self.data.sub_rows(k)[:w])
         if not u_kj.any():
             return  # SU(k, j) took the LazyS+ skip; nothing to push.
         lo, hi = self._block_slice(k, i)
+        if san is not None:
+            san.record_read(k, self.data.sub_rows(k)[lo:hi])
         active = self._lower_active.get((k, i))
         if active is None:
             active = np.any(m[lo:hi, :] != 0.0, axis=1)
@@ -533,6 +593,10 @@ class LUFactorization:
         bpos, bpresent = self.data.positions(j, block_ids[active])
         if np.any(bpresent):
             panel_j[bpos[bpresent], :] -= m[lo:hi][active][bpresent] @ u_kj
+            if san is not None:
+                gemm_rows = block_ids[active][bpresent]
+                san.record_read(j, gemm_rows)
+                san.record_write(j, gemm_rows)
         if self.metrics is not None:
             self.metrics.counter("kernel.gemm.calls", unit="calls").inc()
             self.metrics.counter("kernel.gemm.flops", unit="flops").inc(

@@ -528,6 +528,7 @@ class SparseLUSolver:
         retain_blocks=None,
         engine: Optional[str] = None,
         n_workers: int = 4,
+        sanitizer=None,
     ) -> "SparseLUSolver":
         """Numerical factorization (step (3)).
 
@@ -548,6 +549,14 @@ class SparseLUSolver:
         (:mod:`repro.numeric.supersolve`); ``None`` retains them exactly
         when the resolved solve implementation is ``"block"`` (see
         :mod:`repro.numeric.solve_dispatch`).
+
+        ``sanitizer`` optionally attaches a caller-owned
+        :class:`repro.analysis.sanitizer.AccessSanitizer` to the run
+        (its findings stay on the object — no exception); without one,
+        ``REPRO_SANITIZE=1`` builds a strict sanitizer that raises
+        :class:`~repro.util.errors.SanitizerError` on any footprint
+        escape. Both need the symbolic plan, which this method forwards
+        as ``fill=``.
 
         With detail tracing on, the numeric engine feeds per-kernel
         counters/histograms into ``tracer.metrics``, and the analyzed task
@@ -581,6 +590,8 @@ class SparseLUSolver:
                     n_workers=n_workers,
                     metrics=tr.metrics if tr.detail else None,
                     tracer=tr,
+                    fill=self.fill,
+                    sanitizer=sanitizer,
                 )
             self.result = eng.extract(
                 retain_blocks=retain_blocks,
@@ -679,6 +690,7 @@ class SparseLUSolver:
                     n_workers=n_workers,
                     metrics=tr.metrics if tr.detail else None,
                     tracer=tr,
+                    fill=self.fill,
                 )
             self.result = eng.extract(
                 retain_blocks=retain_blocks,

@@ -70,6 +70,8 @@ def run_engine(
     metrics=None,
     tracer=None,
     pool=None,
+    fill=None,
+    sanitizer=None,
 ):
     """Drive one factorization on the already-resolved engine ``choice``.
 
@@ -83,7 +85,64 @@ def run_engine(
     ``proc`` engine — the serving layer passes one so concurrent serving
     threads share a single process pool. Returns the proc engine's
     :class:`~repro.parallel.procengine.ProcStats` or ``None``.
+
+    Sanitizing: an explicit ``sanitizer``
+    (:class:`repro.analysis.sanitizer.AccessSanitizer`) is attached to
+    the engine for the run and left for the caller to inspect — the
+    caller owns the verdict. With ``REPRO_SANITIZE=1`` and no explicit
+    sanitizer, one is built from ``fill`` (the static fill the solver
+    passes alongside its block pattern) and any finding raises
+    :class:`~repro.util.errors.SanitizerError` after the run — the
+    strict gate mode.
     """
+    san = sanitizer
+    strict = False
+    if san is None:
+        from repro.analysis.sanitizer import sanitize_enabled
+
+        if sanitize_enabled():
+            from repro.analysis.sanitizer import build_sanitizer
+            from repro.util.errors import SanitizerError
+
+            bp = getattr(engine, "bp", None)
+            if fill is None or bp is None:
+                raise SanitizerError(
+                    f"$REPRO_SANITIZE is set but the {choice!r} engine call "
+                    "carries no symbolic plan (fill=); sanitized runs need "
+                    "the static footprints"
+                )
+            san = build_sanitizer(bp, fill)
+            strict = True
+    if san is not None:
+        if graph is not None:
+            san.set_graph(graph)
+        engine.sanitizer = san
+    result = _dispatch(
+        engine,
+        graph,
+        choice,
+        n_workers=n_workers,
+        mapping=mapping,
+        metrics=metrics,
+        tracer=tracer,
+        pool=pool,
+    )
+    if san is not None and strict:
+        san.raise_on_findings(f"{choice} factorization")
+    return result
+
+
+def _dispatch(
+    engine: LUFactorization,
+    graph: "TaskGraph | None",
+    choice: str,
+    *,
+    n_workers: int,
+    mapping,
+    metrics,
+    tracer,
+    pool,
+):
     if choice == "sequential":
         if graph is not None:
             from repro.parallel.two_d import canonical_2d_order, is_2d_graph

@@ -11,6 +11,8 @@ the mapping ablation benchmark compares the policies.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.numeric.costs import CostModel
@@ -40,16 +42,16 @@ class GridMapping:
     def n_procs(self) -> int:
         return self.pr * self.pc
 
-    def owner_of(self, task) -> int:
+    def owner_of(self, task: Any) -> int:
         """Rank owning ``task``'s written block (its read block for SL)."""
         i = getattr(task, "i", task.k)
         return (int(i) % self.pr) * self.pc + (int(task.j) % self.pc)
 
     @property
-    def key(self) -> tuple:
+    def key(self) -> tuple[str, int, int]:
         return ("2d", self.pr, self.pc)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, GridMapping) and self.key == other.key
 
     def __hash__(self) -> int:
@@ -97,7 +99,7 @@ def parse_grid_spec(policy: str, n_workers: int) -> GridMapping:
     return GridMapping(pr, pc)
 
 
-def task_owner(mapping, task) -> int:
+def task_owner(mapping: Any, task: Any) -> int:
     """Owner rank of ``task`` under either mapping shape.
 
     1-D maps are arrays indexed by the task's target block column;
@@ -108,10 +110,11 @@ def task_owner(mapping, task) -> int:
     return int(mapping[task.target])
 
 
-def mapping_key(mapping) -> tuple:
+def mapping_key(mapping: Any) -> tuple:
     """Hashable identity of a mapping — what plan/pool caches compare."""
     if hasattr(mapping, "key"):
-        return mapping.key
+        key: tuple = mapping.key
+        return key
     arr = np.asarray(mapping, dtype=np.int64)
     return ("1d", arr.tobytes())
 
@@ -143,7 +146,9 @@ def greedy_mapping(bp: BlockPattern, n_procs: int) -> np.ndarray:
     return owner
 
 
-def make_mapping(policy: str, bp: BlockPattern, n_procs: int):
+def make_mapping(
+    policy: str, bp: BlockPattern, n_procs: int
+) -> "np.ndarray | GridMapping":
     """Build a mapping by name: ``cyclic``, ``blocked``, ``greedy``, or a
     2-D grid spec (``2d`` / ``2d:PRxPC``, returning :class:`GridMapping`)."""
     if policy == "cyclic":

@@ -79,6 +79,7 @@ class ProcessEngine(LUFactorization):
         self.done: set[Task] = set()
         self.check_dependencies = False
         self.metrics = None
+        self.sanitizer = None
         from repro.numeric.factor import LazyStats
         from repro.numeric.kernels import lu_panel_inplace
 

@@ -60,6 +60,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+from typing import Any
 
 import numpy as np
 
@@ -219,7 +220,7 @@ class ProcStats:
         denom = self.n_procs * self.makespan_seconds
         return self.busy_seconds / denom if denom > 0 else 0.0
 
-    def record_metrics(self, metrics) -> None:
+    def record_metrics(self, metrics: Any) -> None:
         """Export into a registry under the stable ``engine.*`` names
         (docs/observability.md) shared with the event simulator."""
         metrics.counter("engine.tasks", unit="tasks").inc(self.n_tasks)
@@ -245,10 +246,10 @@ def _worker_main(
     owner: list[int],
     indeg: list[int],
     notify: list[list[int]],
-    inboxes: list,
-    outboxes: list,
-    ctrl,
-    fault_hook,
+    inboxes: list[Any],
+    outboxes: list[Any],
+    ctrl: Any,
+    fault_hook: Any,
 ) -> None:
     """Body of one persistent worker process (entered right after fork).
 
@@ -282,6 +283,10 @@ def _worker_main(
     engine.metrics = None  # a forked registry would count into the void
     layout = engine.data.layout
     data = engine.data
+    # Forked copy of the parent's AccessSanitizer (or None): records this
+    # worker's accesses and happens-before observations; each run's
+    # results ship back in the done report and the parent merges them.
+    san = engine.sanitizer
     # Re-point the inherited panel storage at the arena: all panel reads
     # and writes in this process go through the shared segment. (The
     # parent keeps its own private panels and copies values in per run.)
@@ -309,9 +314,15 @@ def _worker_main(
             )
             pending_out: list[list[int]] = [[] for _ in outboxes]
             out_count = 0
+            if san is not None:
+                san.reset_run()
 
             def absorb(data_: bytes) -> None:
                 for (done_idx,) in _MSG.iter_unpack(data_):
+                    if san is not None:
+                        # The completion message is the happens-before
+                        # edge the sanitizer's begin() checks.
+                        san.note_completion(task_list[done_idx])
                     for s in succ_idx[done_idx]:
                         if owner[s] == rank:
                             counters[s] -= 1
@@ -363,6 +374,8 @@ def _worker_main(
                         absorb(inbox.recv_bytes())
                 i = ready.popleft()
                 task = task_list[i]
+                if san is not None:
+                    san.begin(task)
                 t0 = time.perf_counter()
                 if task.kind == "F":
                     engine._factor(task.k)
@@ -390,6 +403,8 @@ def _worker_main(
                         data.sub_panel(k),
                     )
                 busy += time.perf_counter() - t0
+                if san is not None:
+                    san.end(task)
                 if fault_hook is not None:
                     fault_hook(rank, task)
                 remaining -= 1
@@ -404,28 +419,25 @@ def _worker_main(
                 if out_count >= _FLUSH_EVERY or not ready:
                     flush()
             flush()  # final completions peers are still waiting on
-            ctrl.put(
-                (
-                    "done",
-                    rank,
-                    {
-                        "n_tasks": len(own),
-                        "busy": busy,
-                        "idle": idle,
-                        "n_messages": n_messages,
-                        "message_bytes": message_bytes,
-                        # Per-run deltas: the engine accumulates across
-                        # the worker's whole lifetime, the parent wants
-                        # this run only.
-                        "lazy": (
-                            ls.n_updates_skipped - lazy0[0],
-                            ls.n_updates_run - lazy0[1],
-                            ls.flops_saved - lazy0[2],
-                            ls.flops_spent - lazy0[3],
-                        ),
-                    },
-                )
-            )
+            report = {
+                "n_tasks": len(own),
+                "busy": busy,
+                "idle": idle,
+                "n_messages": n_messages,
+                "message_bytes": message_bytes,
+                # Per-run deltas: the engine accumulates across
+                # the worker's whole lifetime, the parent wants
+                # this run only.
+                "lazy": (
+                    ls.n_updates_skipped - lazy0[0],
+                    ls.n_updates_run - lazy0[1],
+                    ls.flops_saved - lazy0[2],
+                    ls.flops_spent - lazy0[3],
+                ),
+            }
+            if san is not None:
+                report["sanitize"] = san.export_run()
+            ctrl.put(("done", rank, report))
     except BaseException as exc:
         try:
             payload = pickle.dumps(exc)
@@ -472,7 +484,9 @@ def _notify_lists(
     return notify
 
 
-def _abort_pool(procs: list, inboxes: list, outboxes: list, ctrl) -> None:
+def _abort_pool(
+    procs: list[Any], inboxes: list[Any], outboxes: list[Any], ctrl: Any
+) -> None:
     """Terminate every worker and drain all message channels (abort
     hygiene).
 
@@ -510,10 +524,10 @@ def proc_factorize(
     graph: TaskGraph,
     n_workers: int = 4,
     *,
-    mapping: "np.ndarray | None" = None,
-    metrics=None,
-    tracer=None,
-    _fault_hook=None,
+    mapping: "np.ndarray | GridMapping | None" = None,
+    metrics: Any = None,
+    tracer: Any = None,
+    _fault_hook: Any = None,
 ) -> ProcStats:
     """Execute every task of ``graph`` on ``engine`` with ``n_workers``
     worker *processes* over a shared-memory arena; returns run statistics.
@@ -579,7 +593,7 @@ def proc_factorize(
         pool.close()
 
 
-def _monitor(procs: list, ctrl, stats_by_rank: dict) -> None:
+def _monitor(procs: list[Any], ctrl: Any, stats_by_rank: dict) -> None:
     """Parent-side supervision: collect per-rank reports, detect deaths.
 
     A worker that exits without having reported (killed, ``os._exit``,
@@ -716,8 +730,8 @@ class ProcPool:
         self,
         engine: LUFactorization,
         graph: TaskGraph,
-        mapping: np.ndarray,
-        fault_hook,
+        mapping: "np.ndarray | GridMapping",
+        fault_hook: Any,
     ) -> dict:
         """Gate, flatten, allocate, fork — everything per-plan rather
         than per-factorization. Called with the lock held."""
@@ -805,6 +819,9 @@ class ProcPool:
             "mapping": mapping,
             "mapping_key": mapping_key(mapping),
             "fault_hook": fault_hook,
+            # Workers inherit the engine (sanitizer included) at fork
+            # time, so toggling sanitization forces a rebind.
+            "sanitized": engine.sanitizer is not None,
             "arena": arena,
             "inboxes": inboxes,
             "outboxes": outboxes,
@@ -860,10 +877,10 @@ class ProcPool:
         engine: LUFactorization,
         graph: TaskGraph,
         *,
-        mapping: "np.ndarray | None" = None,
-        metrics=None,
-        tracer=None,
-        _fault_hook=None,
+        mapping: "np.ndarray | GridMapping | None" = None,
+        metrics: Any = None,
+        tracer: Any = None,
+        _fault_hook: Any = None,
     ) -> ProcStats:
         """Run one factorization on the pool (binding or rebinding it if
         this plan differs from the bound one); same contract as
@@ -903,6 +920,7 @@ class ProcPool:
                 or st["bp"] is not bp
                 or st["fault_hook"] is not _fault_hook
                 or st["mapping_key"] != mapping_key(mapping)
+                or st["sanitized"] != (engine.sanitizer is not None)
             ):
                 self._teardown()
                 st = self._bind(engine, graph, mapping, _fault_hook)
@@ -947,6 +965,11 @@ class ProcPool:
                 _gather(
                     engine, arena, n_blocks, st["task_list"], stats_by_rank
                 )
+                if engine.sanitizer is not None:
+                    for s in stats_by_rank.values():
+                        payload = s.get("sanitize")
+                        if payload is not None:
+                            engine.sanitizer.merge_run(payload)
                 stats = ProcStats(
                     n_procs=self.n_workers,
                     n_tasks=sum(
@@ -996,5 +1019,5 @@ class ProcPool:
     def __enter__(self) -> "ProcPool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()

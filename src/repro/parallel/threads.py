@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 from queue import Empty, Queue
+from typing import Any
 
 from repro.numeric.factor import LUFactorization
 from repro.taskgraph.dag import TaskGraph
@@ -30,7 +31,7 @@ def threaded_factorize(
     graph: TaskGraph,
     n_threads: int = 4,
     *,
-    metrics=None,
+    metrics: Any = None,
 ) -> None:
     """Execute every task of ``graph`` on ``engine`` with ``n_threads``
     workers; returns when the factorization is complete.
@@ -74,12 +75,12 @@ def threaded_factorize(
                 f"task graph failed liveness analysis ({len(findings)} "
                 f"finding(s)):\n{lines}"
             )
+    tasks_ctr: Any = None
+    depth_hist: Any = None
     if metrics is not None:
         metrics.gauge("threads.workers", unit="threads").set(n_threads)
         tasks_ctr = metrics.counter("threads.tasks_executed", unit="tasks")
         depth_hist = metrics.histogram("threads.work_queue_depth", unit="tasks")
-    else:
-        tasks_ctr = depth_hist = None
     n_preds = {t: graph.in_degree(t) for t in graph.tasks()}
     lock = threading.Lock()
     work: Queue = Queue()

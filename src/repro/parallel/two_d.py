@@ -44,7 +44,7 @@ same source order, in different BLAS call shapes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import TYPE_CHECKING, Any, NamedTuple
 
 import numpy as np
 
@@ -53,6 +53,9 @@ from repro.parallel.engine import EngineResult, run_event_simulation
 from repro.parallel.machine import MachineModel
 from repro.symbolic.supernodes import BlockPattern
 from repro.taskgraph.tasks import _upper_blocks_by_source
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.taskgraph.dag import TaskGraph
 
 _FLOAT_BYTES = 8
 
@@ -170,7 +173,7 @@ def build_2d_model(bp: BlockPattern) -> TwoDModel:
     return TwoDModel(bp=bp, tasks=tasks, succ=succ, indeg=indeg, flops=flops)
 
 
-def build_2d_graph(bp: BlockPattern):
+def build_2d_graph(bp: BlockPattern) -> "TaskGraph":
     """The *executable* 2-D task graph over ``B̄`` (cf. :func:`build_2d_model`).
 
     Task bodies are the per-block kernels of
@@ -238,16 +241,16 @@ def canonical_2d_key(t: Task2D) -> tuple[int, int, int, int]:
     return (t.k, _KIND_RANK[t.kind], t.i, t.j)
 
 
-def canonical_2d_order(graph) -> list[Task2D]:
+def canonical_2d_order(graph: "TaskGraph") -> list[Task2D]:
     """The fixed sequential replay order of a 2-D graph.
 
     Any topological order yields the same factors (the step chains already
     pin every summation); this one is the canonical reference the property
     tests replay."""
-    return graph.topological_order(tie_break=canonical_2d_key)
+    return list(graph.topological_order(tie_break=canonical_2d_key))
 
 
-def is_2d_graph(graph) -> bool:
+def is_2d_graph(graph: "TaskGraph") -> bool:
     """Whether ``graph``'s nodes are :class:`Task2D` (vs 1-D ``Task``)."""
     for t in graph.tasks():
         return isinstance(t, Task2D)
@@ -269,7 +272,7 @@ def simulate_2d(
     model: TwoDModel | None = None,
     grid: tuple[int, int] | None = None,
     record_trace: bool = False,
-    metrics=None,
+    metrics: Any = None,
 ) -> EngineResult:
     """Simulate the 2-D factorization on a ``pr x pc`` grid of
     ``machine.n_procs`` processors (2-D block-cyclic ownership).
@@ -288,7 +291,7 @@ def simulate_2d(
     def owner_of(t: Task2D) -> int:
         return (t.i % pr) * pc + (t.j % pc)
 
-    def message_of(src: Task2D, dst: Task2D):
+    def message_of(src: Task2D, dst: Task2D) -> tuple[tuple, int]:
         # The datum shipped is the block src wrote; dedup key = that block
         # (plus the source step, since a block is rewritten per update).
         if src.kind == "F":
@@ -321,7 +324,7 @@ def simulate_2d(
 
 def compare_1d_2d(
     bp: BlockPattern,
-    graph_1d,
+    graph_1d: "TaskGraph",
     machine: MachineModel,
 ) -> dict[str, float]:
     """Makespans of the 1-D eforest schedule and the 2-D model on the same

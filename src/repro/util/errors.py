@@ -51,6 +51,20 @@ class AnalysisError(ReproError, ValueError):
     """Static analysis found a race, deadlock, or broken invariant."""
 
 
+class SchemaVersionError(AnalysisError):
+    """An analysis document declares a schema version this validator does
+    not know. Raised (not returned as an error string) so stale validators
+    fail loudly on documents from a newer library instead of silently
+    passing a layout they cannot check."""
+
+
+class SanitizerError(AnalysisError):
+    """The runtime access sanitizer observed a panel/pivot access outside
+    the task's static footprint, or an access whose source task was not
+    ordered after all its predecessors — a soundness bug in either the
+    engine or the footprint model."""
+
+
 class EngineError(ReproError, RuntimeError):
     """A parallel numeric engine failed to execute (dead worker, closed
     pool, unusable start method) — as opposed to a numerical failure such

@@ -1,0 +1,213 @@
+"""Tests for the fan-both protocol model checker.
+
+Two halves: clean shipped-shape graphs must explore with *zero* findings
+under both mapping families (and with the partial-order reduction off,
+as a soundness cross-check), and every seeded :class:`ProtocolMutation`
+must be detected with its specific finding kind — a checker that cannot
+see planted bugs proves nothing by staying quiet on real graphs.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.analysis import (
+    MODELCHECK_KINDS,
+    ModelCheckResult,
+    ProtocolMutation,
+    bounded_prefix,
+    check_protocol,
+    modelcheck_plan,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.mapping import GridMapping, blocked_mapping, cyclic_mapping
+from repro.serve.plan import build_plan
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.tasks import Task
+from repro.util.errors import AnalysisError
+
+
+def chain(n):
+    """F(0) -> F(1) -> ... -> F(n-1): one task per block column."""
+    g = TaskGraph()
+    ts = [Task("F", k, k) for k in range(n)]
+    for t in ts:
+        g.add_task(t)
+    for a, b in zip(ts, ts[1:]):
+        g.add_edge(a, b)
+    return g, ts
+
+
+def fork_join(width):
+    """F(0) fans out to U(0,j) updates which all join into F(width+1)."""
+    g = TaskGraph()
+    root = Task("F", 0, 0)
+    join = Task("F", width + 1, width + 1)
+    g.add_task(root)
+    mids = [Task("U", 0, j) for j in range(1, width + 1)]
+    for u in mids:
+        g.add_task(u)
+        g.add_edge(root, u)
+    g.add_task(join)
+    for u in mids:
+        g.add_edge(u, join)
+    return g, [root, *mids, join]
+
+
+def kinds_of(result: ModelCheckResult) -> set:
+    return {f.check for f in result.findings}
+
+
+class TestCleanProtocol:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3])
+    def test_chain_clean_under_both_1d_mappings(self, n_ranks):
+        g, _ = chain(6)
+        for mapping in (cyclic_mapping(6, n_ranks), blocked_mapping(6, n_ranks)):
+            res = check_protocol(g, mapping, n_ranks)
+            assert res.ok, [str(f) for f in res.findings]
+            assert res.stats["n_states"] > 0
+
+    def test_fork_join_clean(self):
+        g, _ = fork_join(4)
+        res = check_protocol(g, cyclic_mapping(6, 2), 2)
+        assert res.ok
+
+    def test_grid_mapping_clean(self):
+        g, _ = chain(6)
+        grid = GridMapping(2, 2)
+        res = check_protocol(g, grid, grid.n_procs)
+        assert res.ok
+
+    def test_por_matches_full_exploration(self):
+        # The sleep-set reduction must be sound: same verdict and the
+        # same reachable states as the unreduced exploration, with no
+        # more transitions than it.
+        g, _ = fork_join(3)
+        mp = cyclic_mapping(5, 2)
+        reduced = check_protocol(g, mp, 2, por=True)
+        full = check_protocol(g, mp, 2, por=False)
+        assert reduced.ok and full.ok
+        assert reduced.stats["n_states"] == full.stats["n_states"]
+        assert reduced.stats["n_transitions"] <= full.stats["n_transitions"]
+
+    def test_state_budget_enforced(self):
+        g, _ = fork_join(4)
+        with pytest.raises(AnalysisError, match="exceeded"):
+            check_protocol(g, cyclic_mapping(6, 2), 2, max_states=5)
+
+
+class TestMutationsDetected:
+    """Every seeded protocol bug produces its specific finding kind."""
+
+    def test_drop_message_is_deadlock(self):
+        g, ts = chain(6)
+        mut = ProtocolMutation("drop_message", task=ts[0], dest=1)
+        res = check_protocol(g, cyclic_mapping(6, 2), 2, mutation=mut)
+        assert "modelcheck.deadlock" in kinds_of(res)
+
+    def test_skip_flush_is_lost_wakeup(self):
+        # Rank 0 never flushes before blocking; on the cyclic chain its
+        # peer starves with completions sitting in the out-buffer.
+        g, ts = chain(6)
+        mut = ProtocolMutation("skip_flush", rank=0)
+        res = check_protocol(g, cyclic_mapping(6, 2), 2, mutation=mut)
+        assert "modelcheck.lost_wakeup" in kinds_of(res)
+
+    def test_wrong_counter_is_premature_read(self):
+        # Completions of ts[1] decrement ts[4]'s counter instead of
+        # ts[2]'s: ts[4] readies before its predecessor ran (premature
+        # read) while ts[2] starves (deadlock).
+        g, ts = chain(6)
+        mut = ProtocolMutation(
+            "wrong_counter", task=ts[1], successor=ts[2], instead=ts[4]
+        )
+        res = check_protocol(g, cyclic_mapping(6, 2), 2, mutation=mut)
+        assert "modelcheck.premature_read" in kinds_of(res)
+        assert "modelcheck.deadlock" in kinds_of(res)
+
+    def test_wrong_owner_is_deadlock_1d(self):
+        # Needs >= 3 ranks: with 2, the misplaced execution lands on the
+        # predecessor's rank and the local decrement masks the bug.
+        g, ts = chain(6)
+        mut = ProtocolMutation("wrong_owner", task=ts[4], rank=2)
+        res = check_protocol(g, cyclic_mapping(6, 3), 3, mutation=mut)
+        assert "modelcheck.deadlock" in kinds_of(res)
+
+    def test_wrong_owner_is_deadlock_2d(self):
+        # The 2-D bug class: GridMapping.owner_of disagrees with the
+        # routing of completion messages for one task.
+        g, ts = chain(6)
+        grid = GridMapping(2, 2)
+        true_owner = grid.owner_of(ts[4])
+        wrong = next(r for r in range(grid.n_procs) if r != true_owner)
+        mut = ProtocolMutation("wrong_owner", task=ts[4], rank=wrong)
+        res = check_protocol(g, grid, grid.n_procs, mutation=mut)
+        assert "modelcheck.deadlock" in kinds_of(res)
+
+    def test_duplicate_message_is_double_completion(self):
+        g, ts = chain(6)
+        mut = ProtocolMutation("duplicate_message", task=ts[0], dest=1)
+        res = check_protocol(g, cyclic_mapping(6, 2), 2, mutation=mut)
+        assert "modelcheck.double_completion" in kinds_of(res)
+
+    def test_all_finding_kinds_are_catalogued(self):
+        g, ts = chain(6)
+        muts = [
+            (ProtocolMutation("drop_message", task=ts[0], dest=1), 2),
+            (ProtocolMutation("skip_flush", rank=0), 2),
+            (
+                ProtocolMutation(
+                    "wrong_counter", task=ts[1], successor=ts[2], instead=ts[4]
+                ),
+                2,
+            ),
+            (ProtocolMutation("wrong_owner", task=ts[4], rank=2), 3),
+            (ProtocolMutation("duplicate_message", task=ts[0], dest=1), 2),
+        ]
+        seen = set()
+        for mut, n_ranks in muts:
+            res = check_protocol(
+                g, cyclic_mapping(6, n_ranks), n_ranks, mutation=mut
+            )
+            assert res.findings, f"{mut.kind} went undetected"
+            seen |= kinds_of(res)
+        assert seen <= set(MODELCHECK_KINDS)
+
+    def test_unknown_mutation_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation kind"):
+            ProtocolMutation("clobber_arena")
+
+
+class TestBoundedPrefix:
+    def test_prefix_is_down_closed(self):
+        s = build_plan(random_pivot_matrix(40, 3))
+        g = bounded_prefix(s.graph, 10)
+        assert g.n_tasks <= 10
+        kept = set(g.tasks())
+        for t in kept:
+            # Every predecessor of a kept task is kept: the prefix's
+            # protocol semantics match the full run restricted to it.
+            for p in s.graph.predecessors(t):
+                assert p in kept
+        g.validate()
+
+    def test_small_graph_returned_whole(self):
+        g, _ = chain(4)
+        assert bounded_prefix(g, 10) is g
+
+
+class TestModelcheckPlan:
+    def test_plan_report_shape_and_metrics(self):
+        plan = build_plan(random_pivot_matrix(40, 1))
+        metrics = MetricsRegistry()
+        report = modelcheck_plan(plan, name="rand40", metrics=metrics)
+        assert report.ok, report.render()
+        assert report.modes == ["modelcheck"]
+        names = [s.name for s in report.subjects]
+        assert names == ["rand40/protocol-1d", "rand40/protocol-2d"]
+        one_d, two_d = report.subjects
+        assert one_d.stats["n_states_blocked"] > 0
+        assert one_d.stats["n_states_cyclic"] > 0
+        assert two_d.stats["n_states_grid"] > 0
+        assert metrics.counter("modelcheck.states").value > 0
+        assert metrics.counter("modelcheck.transitions").value > 0

@@ -2,14 +2,18 @@
 
 import json
 
+import pytest
+
 from repro.analysis import (
     ANALYSIS_SCHEMA,
     ANALYSIS_SCHEMA_VERSION,
+    SUPPORTED_ANALYSIS_VERSIONS,
     AnalysisReport,
     Finding,
     validate_analysis_document,
 )
 from repro.analysis.report import SubjectReport
+from repro.util.errors import AnalysisError, SchemaVersionError
 
 
 def make_report(with_finding=False) -> AnalysisReport:
@@ -83,9 +87,27 @@ class TestSchemaValidation:
         doc["schema"] = "repro.bench"
         assert any("$.schema" in e for e in validate_analysis_document(doc))
 
-    def test_future_version_rejected(self):
+    def test_future_version_raises_typed_error(self):
         doc = make_report().as_dict()
         doc["schema_version"] = ANALYSIS_SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError) as exc_info:
+            validate_analysis_document(doc)
+        assert str(ANALYSIS_SCHEMA_VERSION + 1) in str(exc_info.value)
+
+    def test_schema_version_error_is_analysis_error(self):
+        # Callers catching the analysis-error family must also see
+        # version mismatches — they are analysis failures, not crashes.
+        assert issubclass(SchemaVersionError, AnalysisError)
+
+    def test_malformed_version_is_error_string_not_raise(self):
+        # A non-int version is a *malformed* document (string error), not
+        # an unknown-but-well-formed version (typed raise).
+        doc = make_report().as_dict()
+        doc["schema_version"] = "two"
+        assert any(
+            "$.schema_version" in e for e in validate_analysis_document(doc)
+        )
+        doc["schema_version"] = True
         assert any(
             "$.schema_version" in e for e in validate_analysis_document(doc)
         )
@@ -118,3 +140,65 @@ class TestSchemaValidation:
         assert s.ok
         s.findings.append(Finding(check="c", message="m"))
         assert not s.ok
+
+
+class TestSchemaVersions:
+    def test_v2_document_carries_modes(self):
+        report = make_report()
+        report.modes = ["modelcheck", "sanitize"]
+        doc = report.as_dict()
+        assert doc["schema_version"] == 2
+        assert doc["modes"] == ["modelcheck", "sanitize"]
+        assert validate_analysis_document(doc) == []
+
+    def test_v1_document_omits_modes_and_validates(self):
+        doc = make_report(with_finding=True).as_dict(version=1)
+        assert doc["schema_version"] == 1
+        assert "modes" not in doc
+        assert validate_analysis_document(doc) == []
+
+    def test_v1_v2_round_trip_same_payload(self):
+        # Other than the version stamp and the modes list, v1 and v2
+        # emissions of the same report are identical.
+        report = make_report(with_finding=True)
+        v1 = json.loads(json.dumps(report.as_dict(version=1)))
+        v2 = json.loads(json.dumps(report.as_dict(version=2)))
+        assert validate_analysis_document(v1) == []
+        assert validate_analysis_document(v2) == []
+        v2 = dict(v2)
+        assert v2.pop("modes") == ["static"]
+        v2["schema_version"] = 1
+        assert v1 == v2
+
+    def test_v2_requires_nonempty_modes(self):
+        doc = make_report().as_dict()
+        doc["modes"] = []
+        assert any("$.modes" in e for e in validate_analysis_document(doc))
+        doc["modes"] = ["static", 7]
+        assert any("$.modes" in e for e in validate_analysis_document(doc))
+        del doc["modes"]
+        assert any("$.modes" in e for e in validate_analysis_document(doc))
+
+    def test_emit_unsupported_version_raises(self):
+        report = make_report()
+        with pytest.raises(SchemaVersionError):
+            report.as_dict(version=max(SUPPORTED_ANALYSIS_VERSIONS) + 1)
+        with pytest.raises(SchemaVersionError):
+            report.as_dict(version=0)
+
+    def test_merge_combines_subjects_meta_and_modes(self):
+        a = AnalysisReport(meta={"matrix": "sherman3"}, modes=["static"])
+        a.subject("sherman3/structure")
+        b = AnalysisReport(meta={"engine": "proc"}, modes=["sanitize", "static"])
+        b.subject("sherman3/sanitize-proc").findings.append(
+            Finding(check="sanitizer.write_escape", message="row out of footprint")
+        )
+        a.merge(b)
+        assert [s.name for s in a.subjects] == [
+            "sherman3/structure",
+            "sherman3/sanitize-proc",
+        ]
+        assert a.meta == {"matrix": "sherman3", "engine": "proc"}
+        assert a.modes == ["static", "sanitize"]  # deduplicated, order-stable
+        assert not a.ok
+        assert validate_analysis_document(a.as_dict()) == []

@@ -1,0 +1,234 @@
+"""Dynamic access-sanitizer tests.
+
+Soundness: a sanitized factorization of shipped engines on shipped
+footprints records *zero* escapes and must not perturb the numerics
+(bitwise-identical factors). Teeth: corrupting the static footprint
+model — dropping one GEMM write row — must be flagged, as must runs
+whose happens-before edges are missing. The escape checks run the real
+engines; this file executes numerics by design (unlike the static
+passes).
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_pivot_matrix
+from repro.analysis import (
+    SANITIZER_KINDS,
+    AccessSanitizer,
+    build_sanitizer,
+    sanitize_enabled,
+    sanitize_matrix,
+    sanitizer_footprints,
+    validate_analysis_document,
+)
+from repro.analysis.footprints import ORIG_AT_REGION, TaskFootprint
+from repro.analysis.sanitizer import pivot_region
+from repro.numeric.solver import SparseLUSolver
+from repro.obs.metrics import MetricsRegistry
+from repro.sparse.generators import paper_matrix
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.tasks import Task
+from repro.util.errors import SanitizerError
+
+
+def analyzed(n=40, seed=0):
+    return SparseLUSolver(random_pivot_matrix(n, seed)).analyze()
+
+
+def factor_payload(solver):
+    r = solver.result
+    return (
+        r.l_factor.indptr,
+        r.l_factor.indices,
+        r.l_factor.data,
+        r.u_factor.indptr,
+        r.u_factor.indices,
+        r.u_factor.data,
+        r.orig_at,
+    )
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("engine", ["sequential", "threaded"])
+    def test_zero_escapes_and_bitwise_factors(self, engine):
+        base = analyzed(seed=1)
+        base.factorize(engine=engine, n_workers=2)
+        s = SparseLUSolver(random_pivot_matrix(40, 1)).analyze()
+        san = build_sanitizer(s.bp, s.fill)
+        s.factorize(engine=engine, n_workers=2, sanitizer=san)
+        assert san.findings == [], [str(f) for f in san.findings]
+        assert san.n_accesses > 0 and san.n_tasks > 0
+        for got, want in zip(factor_payload(s), factor_payload(base)):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("name", ["sherman3", "lns3937"])
+    def test_paper_analogs_proc_chunked_zero_escapes(self, name, monkeypatch):
+        # The acceptance configuration: chunked symbolic kernel producing
+        # the pattern, multi-process fan-both engine executing it, the
+        # sanitizer merged back across worker forks.
+        monkeypatch.setenv("REPRO_SYMBOLIC", "chunked")
+        a = paper_matrix(name, scale=0.15)
+        report = sanitize_matrix(a, name=name, engine="proc", n_workers=2)
+        assert report.ok, report.render()
+        (sub,) = report.subjects
+        assert sub.name == f"{name}/sanitize-proc"
+        assert sub.stats["n_accesses"] > 0
+        assert sub.stats["n_tasks_sanitized"] > 0
+
+    def test_untasked_accesses_ungoverned(self):
+        # Copy-in/extraction run outside any task extent and are not
+        # checked (or counted) — only task-attributed accesses are.
+        s = analyzed()
+        san = build_sanitizer(s.bp, s.fill)
+        san.record_write(0, np.array([10**9]))
+        assert san.findings == []
+        assert san.n_accesses == 0
+
+
+class TestCorruptedFootprints:
+    def test_dropped_gemm_write_row_flagged(self):
+        # Record the real write sets once, then re-run against a
+        # footprint model missing one below-diagonal (GEMM) write row of
+        # one U task: the sanitizer must flag exactly that escape.
+        s = analyzed(seed=2)
+        recorded = {}
+
+        class Recording(AccessSanitizer):
+            def _record(self, region, rows, *, write):
+                task = self.current
+                if (
+                    write
+                    and isinstance(task, Task)
+                    and task.kind == "U"
+                    and region == task.j
+                ):
+                    seen = recorded.setdefault((task, region), set())
+                    seen.update(np.asarray(rows).ravel().tolist())
+                super()._record(region, rows, write=write)
+
+        fps = sanitizer_footprints(s.bp, s.fill)
+        san = Recording(fps)
+        s.factorize(engine="sequential", sanitizer=san)
+        assert san.findings == []
+        assert recorded, "no U-task panel writes observed"
+        # Deepest recorded row of the widest write set: a GEMM-updated
+        # below-diagonal row (TRSM only touches the leading block rows).
+        (task, region), rows = max(recorded.items(), key=lambda kv: len(kv[1]))
+        victim = max(rows)
+        fp = fps[task]
+        keep = fp.writes[region][fp.writes[region] != victim]
+        corrupted = dict(fps)
+        corrupted[task] = TaskFootprint(
+            reads=dict(fp.reads), writes={**fp.writes, region: keep}
+        )
+
+        s2 = SparseLUSolver(random_pivot_matrix(40, 2)).analyze()
+        san2 = AccessSanitizer(corrupted)
+        s2.factorize(engine="sequential", sanitizer=san2)
+        escapes = [
+            f for f in san2.findings if f.check == "sanitizer.write_escape"
+        ]
+        assert escapes, "dropped GEMM write row went undetected"
+        assert any(str(task) in f.tasks for f in escapes)
+        assert all(f.check in SANITIZER_KINDS for f in san2.findings)
+
+    def test_unknown_task_flagged(self):
+        san = AccessSanitizer({})
+        san.begin(Task("F", 0, 0))
+        san.record_write(0, np.array([1, 2]))
+        san.end(Task("F", 0, 0))
+        assert [f.check for f in san.findings] == ["sanitizer.unknown_task"]
+
+    def test_raise_on_findings(self):
+        san = AccessSanitizer({})
+        san.begin(Task("F", 0, 0))
+        san.record_read(0, np.array([3]))
+        with pytest.raises(SanitizerError, match="1 sanitizer finding"):
+            san.raise_on_findings("unit test")
+
+
+class TestHappensBefore:
+    def graph(self):
+        g = TaskGraph()
+        a, b = Task("F", 0, 0), Task("F", 1, 1)
+        g.add_task(a)
+        g.add_task(b)
+        g.add_edge(a, b)
+        return g, a, b
+
+    def test_missing_completion_flagged(self):
+        g, a, b = self.graph()
+        san = AccessSanitizer({}, g)
+        san.begin(b)  # a never observed complete
+        assert [f.check for f in san.findings] == [
+            "sanitizer.missing_happens_before"
+        ]
+
+    def test_message_completion_satisfies_edge(self):
+        # A completion learned from a protocol message (not locally
+        # executed) is a valid happens-before source — the fan-both
+        # engines' cross-rank case.
+        g, a, b = self.graph()
+        san = AccessSanitizer({}, g)
+        san.note_completion(a)
+        san.begin(b)
+        san.end(b)
+        assert san.findings == []
+
+    def test_worker_merge_round_trip(self):
+        g, a, b = self.graph()
+        worker = AccessSanitizer({}, g)
+        worker.begin(b)
+        worker.record_read(0, np.array([1]))  # unknown-task finding too
+        worker.end(b)
+        payload = worker.export_run()
+        parent = AccessSanitizer({}, g)
+        parent.merge_run(payload)
+        assert {f.check for f in parent.findings} == {
+            f.check for f in worker.findings
+        }
+        assert parent.n_tasks == worker.n_tasks == 1
+        assert parent.n_accesses == worker.n_accesses == 1
+
+
+class TestPivotSlots:
+    def test_footprints_extended_with_pivot_regions(self):
+        s = analyzed()
+        fps = sanitizer_footprints(s.bp, s.fill)
+        f_tasks = [t for t in fps if isinstance(t, Task) and t.kind == "F"]
+        u_tasks = [t for t in fps if isinstance(t, Task) and t.kind == "U"]
+        assert f_tasks and u_tasks
+        for t in f_tasks:
+            assert pivot_region(t.k) in fps[t].writes
+        for t in u_tasks:
+            assert pivot_region(t.k) in fps[t].reads
+        # Pivot-slot ids stay disjoint from panel regions and orig_at.
+        assert pivot_region(0) < ORIG_AT_REGION < 0
+
+
+class TestSanitizeMatrix:
+    def test_report_schema_and_metrics(self):
+        a = random_pivot_matrix(40, 4)
+        metrics = MetricsRegistry()
+        report = sanitize_matrix(
+            a, name="rand40", engine="sequential", metrics=metrics
+        )
+        assert report.ok
+        assert report.modes == ["sanitize"]
+        doc = report.as_dict()
+        assert validate_analysis_document(doc) == []
+        (sub,) = doc["subjects"]
+        assert sub["name"] == "rand40/sanitize-sequential"
+        assert sub["stats"]["engine"] == "sequential"
+        assert metrics.counter("sanitizer.accesses").value > 0
+        assert metrics.counter("sanitizer.rows_checked").value > 0
+        assert metrics.counter("sanitizer.findings").value == 0
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
